@@ -1,0 +1,35 @@
+// Section 4.2 text: the 4-node variant of Experiment 1. The paper reports
+// (without figures) that the curves look like Figures 4-5 with the maximum
+// throughput speedup slightly above four and the mid-load NO_DC response
+// time speedup reaching almost 60.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Sec 4.2 (4-node variant)",
+      "Throughput and response-time speedups, 4-node vs. 1-node",
+      "throughput speedup peaks slightly above 4; response-time speedup "
+      "peaks near 60 for NO_DC at intermediate think times, higher for the "
+      "CC algorithms");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto one = Exp1Sweep(cache, 1);
+  auto four = Exp1Sweep(cache, 4);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("exp1_fournode", "Throughput speedup (4-node / 1-node)", "think(s)", xs,
+      Algorithms(), [&](config::CcAlgorithm alg, double x) {
+        double denom = At(one, alg, x).throughput;
+        return denom > 0 ? At(four, alg, x).throughput / denom : 0.0;
+      });
+  ReportSeries("exp1_fournode_2", "Response time speedup (1-node / 4-node)", "think(s)", xs,
+      Algorithms(), [&](config::CcAlgorithm alg, double x) {
+        double denom = At(four, alg, x).mean_response_time;
+        return denom > 0 ? At(one, alg, x).mean_response_time / denom : 0.0;
+      });
+  return 0;
+}

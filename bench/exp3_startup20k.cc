@@ -1,0 +1,34 @@
+// Section 4.4 text: the heavyweight-process variant of Experiment 3
+// (InstPerStartup=20K, InstPerMsg=0). The paper reports results "very close
+// to those of Figures 16 and 17", with process initiation cost replacing
+// message cost as the factor limiting speedup.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Sec 4.4 (startup 20K variant)",
+      "RT speedup vs. partitioning degree, InstPerStartup=20K, InstPerMsg=0",
+      "very close to Figures 16/17: heavyweight process initiation caps the "
+      "gain from higher degrees of parallelism");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  for (double think : {0.0, 8.0}) {
+    auto sweep = Exp3Sweep(cache, /*inst_per_startup=*/20000,
+                           /*inst_per_msg=*/0, think);
+    std::string think_tag = std::to_string(static_cast<int>(think));
+    std::string title =
+        "RT speedup vs 1-way (startup 20K, think " + think_tag + ")";
+    ReportSeries("exp3_startup20k_tt" + think_tag, title, "degree",
+                 {1, 2, 4, 8}, Algorithms(),
+        [&](config::CcAlgorithm alg, double degree) {
+          double base = At(sweep, alg, 1).mean_response_time;
+          double rt = At(sweep, alg, degree).mean_response_time;
+          return rt > 0 ? base / rt : 0.0;
+        });
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 2: Throughput vs. mean think time, 1-node vs. 8-node machine
+// (Sec 4.2, small database: 300 pages/file).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 2", "Throughput (commits/sec) vs. think time, 1-node and 8-node systems",
+      "2PL > BTO > WW > OPT under load, all below NO_DC; all algorithms "
+      "thrash at the highest loads; differences vanish at large think times");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto one = Exp1Sweep(cache, 1);
+  auto eight = Exp1Sweep(cache, 8);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("fig02_throughput", "Throughput, 1-node system (txns/sec)", "think(s)", xs,
+      Algorithms(), [&](config::CcAlgorithm alg, double x) {
+        return At(one, alg, x).throughput;
+      });
+  ReportSeries("fig02_throughput_2", "Throughput, 8-node system (txns/sec)", "think(s)", xs,
+      Algorithms(), [&](config::CcAlgorithm alg, double x) {
+        return At(eight, alg, x).throughput;
+      });
+  return 0;
+}

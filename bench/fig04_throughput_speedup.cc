@@ -1,0 +1,27 @@
+// Figure 4: Throughput speedup (8-node vs. 1-node) vs. think time (Sec 4.2).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 4",
+      "Throughput speedup: 8-node throughput / 1-node throughput",
+      "close to 8 at low think times, decaying toward 1 at high think "
+      "times; CC algorithms slightly exceed NO_DC (parallelism also relieves "
+      "contention), OPT gaining the most extra speedup and 2PL the least");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto one = Exp1Sweep(cache, 1);
+  auto eight = Exp1Sweep(cache, 8);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("fig04_throughput_speedup", "Throughput speedup (8-node / 1-node)", "think(s)", xs,
+      Algorithms(), [&](config::CcAlgorithm alg, double x) {
+        double denom = At(one, alg, x).throughput;
+        return denom > 0 ? At(eight, alg, x).throughput / denom : 0.0;
+      });
+  return 0;
+}

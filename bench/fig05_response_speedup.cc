@@ -1,0 +1,49 @@
+// Figure 5: Response time speedup (1-node RT / 8-node RT) vs. think time
+// (Sec 4.2).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 5",
+      "Response time speedup: 1-node RT / 8-node RT",
+      "about 6.5 at think 0 (eight times the hardware), about 5.3 at think "
+      "120 (parallelism limited by the largest cohort, 64/12), with a huge "
+      "spike (NO_DC > 100) at intermediate think times where the 8-node "
+      "system has already left the saturated regime");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto one = Exp1Sweep(cache, 1);
+  auto eight = Exp1Sweep(cache, 8);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("fig05_response_speedup", "Response time speedup (1-node / 8-node)", "think(s)", xs,
+      Algorithms(), [&](config::CcAlgorithm alg, double x) {
+        double denom = At(eight, alg, x).mean_response_time;
+        return denom > 0 ? At(one, alg, x).mean_response_time / denom : 0.0;
+      });
+
+  // The light-load asymptote: with one transaction in the machine at a time
+  // the speedup is limited by the longest cohort (64/12 = 5.33; footnote 12
+  // of the paper). Demonstrated with very large think times.
+  std::vector<double> tail{240, 480, 960};
+  auto make1 = [](config::CcAlgorithm alg, double think) {
+    return experiments::Exp1Config(1, alg, think);
+  };
+  auto make8 = [](config::CcAlgorithm alg, double think) {
+    return experiments::Exp1Config(8, alg, think);
+  };
+  auto one_tail = experiments::RunGrid(cache, Algorithms(), tail, make1);
+  auto eight_tail = experiments::RunGrid(cache, Algorithms(), tail, make8);
+  ReportSeries("fig05_response_speedup_2",
+      "Light-load asymptote (expect ~5.3, the 64/12 longest-cohort limit)",
+      "think(s)", tail, Algorithms(), [&](config::CcAlgorithm alg, double x) {
+        double denom = At(eight_tail, alg, x).mean_response_time;
+        return denom > 0 ? At(one_tail, alg, x).mean_response_time / denom
+                         : 0.0;
+      });
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 7: Processing-node CPU utilization vs. think time, 1-node vs.
+// 8-node (Sec 4.2).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 7", "Mean processing-node CPU utilization vs. think time",
+      "80-90% of the disks' utilization under load (slightly I/O-bound "
+      "parameterization); drops much faster with think time in the 8-node "
+      "case");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto one = Exp1Sweep(cache, 1);
+  auto eight = Exp1Sweep(cache, 8);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("fig07_cpu_util", "CPU utilization, 1-node system",
+                          "think(s)", xs, Algorithms(),
+                          [&](config::CcAlgorithm alg, double x) {
+                            return At(one, alg, x).proc_cpu_util;
+                          });
+  ReportSeries("fig07_cpu_util_2", "CPU utilization, 8-node system",
+                          "think(s)", xs, Algorithms(),
+                          [&](config::CcAlgorithm alg, double x) {
+                            return At(eight, alg, x).proc_cpu_util;
+                          });
+  return 0;
+}

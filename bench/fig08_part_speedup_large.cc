@@ -1,0 +1,29 @@
+// Figure 8: Response time improvement of 8-way over 1-way partitioning vs.
+// think time, LARGE database (1200 pages/file), 8-node machine (Sec 4.3).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 8",
+      "Response time speedup of 8-way vs. 1-way partitioning, large DB",
+      "no improvement at think 0 (saturated), rising to about 5 at large "
+      "think times; CC algorithms slightly above NO_DC; contention effects "
+      "subtle at this database size");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto one_way = Exp2Sweep(cache, 1, 1200);
+  auto eight_way = Exp2Sweep(cache, 8, 1200);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("fig08_part_speedup_large", "RT speedup, 8-way vs 1-way (FileSize 1200)", "think(s)", xs,
+      Algorithms(), [&](config::CcAlgorithm alg, double x) {
+        double denom = At(eight_way, alg, x).mean_response_time;
+        return denom > 0 ? At(one_way, alg, x).mean_response_time / denom
+                         : 0.0;
+      });
+  return 0;
+}

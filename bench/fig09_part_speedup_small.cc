@@ -1,0 +1,29 @@
+// Figure 9: Response time improvement of 8-way over 1-way partitioning vs.
+// think time, SMALL database (300 pages/file), 8-node machine (Sec 4.3).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 9",
+      "Response time speedup of 8-way vs. 1-way partitioning, small DB",
+      "like Figure 8 but with clearer contention effects: 2PL gains the most "
+      "at low think times (shorter lock hold times), OPT the most at the "
+      "highest think times");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto one_way = Exp2Sweep(cache, 1, 300);
+  auto eight_way = Exp2Sweep(cache, 8, 300);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("fig09_part_speedup_small", "RT speedup, 8-way vs 1-way (FileSize 300)", "think(s)", xs,
+      Algorithms(), [&](config::CcAlgorithm alg, double x) {
+        double denom = At(eight_way, alg, x).mean_response_time;
+        return denom > 0 ? At(one_way, alg, x).mean_response_time / denom
+                         : 0.0;
+      });
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 10: Percentage response-time degradation relative to NO_DC, 8-way
+// partitioning, small database (Sec 4.3).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 10",
+      "% RT degradation vs NO_DC, 8-way partitioning, small DB",
+      "2PL smallest loss, then BTO, then WW, OPT largest; differences are "
+      "more pronounced than in the 1-way case (Figure 11)");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto sweep = Exp2Sweep(cache, 8, 300);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("fig10_degradation_8way", "% response-time degradation vs NO_DC (8-way)", "think(s)",
+      xs, RealAlgorithms(), [&](config::CcAlgorithm alg, double x) {
+        double base = At(sweep, config::CcAlgorithm::kNoDc, x)
+                          .mean_response_time;
+        double rt = At(sweep, alg, x).mean_response_time;
+        return base > 0 ? 100.0 * (rt - base) / base : 0.0;
+      }, 1);
+  return 0;
+}

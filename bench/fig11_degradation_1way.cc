@@ -1,0 +1,29 @@
+// Figure 11: Percentage response-time degradation relative to NO_DC, 1-way
+// partitioning (no intra-transaction parallelism), small database (Sec 4.3).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 11",
+      "% RT degradation vs NO_DC, 1-way partitioning, small DB",
+      "same algorithm ordering as Figure 10 (2PL best, OPT worst) but the "
+      "spread between algorithms is narrower without parallelism; 2PL's gap "
+      "to NO_DC is larger here than under 8-way (locks held longer)");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto sweep = Exp2Sweep(cache, 1, 300);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("fig11_degradation_1way", "% response-time degradation vs NO_DC (1-way)", "think(s)",
+      xs, RealAlgorithms(), [&](config::CcAlgorithm alg, double x) {
+        double base = At(sweep, config::CcAlgorithm::kNoDc, x)
+                          .mean_response_time;
+        double rt = At(sweep, alg, x).mean_response_time;
+        return base > 0 ? 100.0 * (rt - base) / base : 0.0;
+      }, 1);
+  return 0;
+}

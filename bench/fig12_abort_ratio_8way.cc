@@ -1,0 +1,27 @@
+// Figure 12: Abort ratio (aborts per commit) vs. think time, 8-way
+// partitioning, small database (Sec 4.3).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 12",
+      "Abort ratio (aborts per commit), 8-way partitioning, small DB",
+      "consistent with Figure 10: the more an algorithm relies on aborts, "
+      "the higher its ratio - OPT and WW high, BTO moderate, 2PL lowest "
+      "(deadlocks only)");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto sweep = Exp2Sweep(cache, 8, 300);
+  auto xs = experiments::PaperThinkTimes();
+
+  ReportSeries("fig12_abort_ratio_8way", "Abort ratio (8-way)", "think(s)", xs,
+                          RealAlgorithms(),
+                          [&](config::CcAlgorithm alg, double x) {
+                            return At(sweep, alg, x).abort_ratio;
+                          });
+  return 0;
+}

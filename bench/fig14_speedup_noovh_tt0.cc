@@ -1,0 +1,36 @@
+// Figure 14: Response time speedup vs. partitioning degree at think time 0
+// with zero message and process-initiation overheads (Sec 4.4).
+
+#include "bench_common.h"
+
+namespace {
+void PrintDegreeSpeedup(const char* title,
+                        const std::vector<ccsim::experiments::Point>& sweep) {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  ReportSeries("fig14_speedup_noovh_tt0", title, "degree", {1, 2, 4, 8}, Algorithms(),
+      [&](config::CcAlgorithm alg, double degree) {
+        double base = At(sweep, alg, 1).mean_response_time;
+        double rt = At(sweep, alg, degree).mean_response_time;
+        return rt > 0 ? base / rt : 0.0;
+      });
+}
+}  // namespace
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 14",
+      "RT speedup vs. partitioning degree, zero overheads, think time 0",
+      "NO_DC gains almost nothing (the machine is saturated), but the CC "
+      "algorithms gain from shorter lock/validation windows: 2PL speeds up "
+      "the most, OPT the least");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto sweep = Exp3Sweep(cache, /*inst_per_startup=*/0, /*inst_per_msg=*/0,
+                         /*think=*/0);
+  PrintDegreeSpeedup("RT speedup vs 1-way (no overheads, think 0)", sweep);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 15: Response time speedup vs. partitioning degree at think time 8 s
+// with zero message and process-initiation overheads (Sec 4.4).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 15",
+      "RT speedup vs. partitioning degree, zero overheads, think time 8 s",
+      "with the load below total saturation every algorithm benefits more "
+      "than in Figure 14; 2PL still benefits most, OPT least");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto sweep = Exp3Sweep(cache, 0, 0, /*think=*/8);
+  ReportSeries("fig15_speedup_noovh_tt8", "RT speedup vs 1-way (no overheads, think 8)", "degree",
+      {1, 2, 4, 8}, Algorithms(), [&](config::CcAlgorithm alg, double degree) {
+        double base = At(sweep, alg, 1).mean_response_time;
+        double rt = At(sweep, alg, degree).mean_response_time;
+        return rt > 0 ? base / rt : 0.0;
+      });
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 16: Response time speedup vs. partitioning degree at think time 0
+// with InstPerMsg raised to 4K instructions (InstPerStartup 0) (Sec 4.4).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 16",
+      "RT speedup vs. partitioning degree, InstPerMsg=4K, think time 0",
+      "speedups drop versus Figure 14; several algorithms (especially OPT) "
+      "do worse 8-way than 4-way - distributed (re)starts and aborts are "
+      "expensive when messages cost 4K instructions");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto sweep = Exp3Sweep(cache, /*inst_per_startup=*/0,
+                         /*inst_per_msg=*/4000, /*think=*/0);
+  ReportSeries("fig16_speedup_msg4k_tt0", "RT speedup vs 1-way (msg 4K, think 0)", "degree",
+      {1, 2, 4, 8}, Algorithms(), [&](config::CcAlgorithm alg, double degree) {
+        double base = At(sweep, alg, 1).mean_response_time;
+        double rt = At(sweep, alg, degree).mean_response_time;
+        return rt > 0 ? base / rt : 0.0;
+      });
+  return 0;
+}

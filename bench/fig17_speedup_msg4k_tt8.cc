@@ -1,0 +1,25 @@
+// Figure 17: Response time speedup vs. partitioning degree at think time 8 s
+// with InstPerMsg raised to 4K instructions (InstPerStartup 0) (Sec 4.4).
+
+#include "bench_common.h"
+
+int main() {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Figure 17",
+      "RT speedup vs. partitioning degree, InstPerMsg=4K, think time 8 s",
+      "like Figure 16 at a lighter load: speedups below the free-message "
+      "case of Figure 15, and little or no gain from 4-way to 8-way");
+  PrintRunScaleNote();
+
+  ResultCache cache;
+  auto sweep = Exp3Sweep(cache, 0, 4000, /*think=*/8);
+  ReportSeries("fig17_speedup_msg4k_tt8", "RT speedup vs 1-way (msg 4K, think 8)", "degree",
+      {1, 2, 4, 8}, Algorithms(), [&](config::CcAlgorithm alg, double degree) {
+        double base = At(sweep, alg, 1).mean_response_time;
+        double rt = At(sweep, alg, degree).mean_response_time;
+        return rt > 0 ? base / rt : 0.0;
+      });
+  return 0;
+}

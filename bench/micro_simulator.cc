@@ -1,0 +1,133 @@
+// Micro-benchmarks of the simulator substrate itself (google-benchmark):
+// event calendar throughput, processor-sharing CPU, lock table, RNG, and
+// whole-machine simulation rates. These gate performance regressions in the
+// engine that would make the figure sweeps slow.
+
+#include <benchmark/benchmark.h>
+
+#include "ccsim/cc/lock_table.h"
+#include "ccsim/config/params.h"
+#include "ccsim/engine/run.h"
+#include "ccsim/resource/cpu.h"
+#include "ccsim/sim/calendar.h"
+#include "ccsim/sim/random.h"
+#include "ccsim/sim/simulation.h"
+#include "ccsim/workload/access_generator.h"
+#include "ccsim/db/placement.h"
+
+namespace {
+
+using namespace ccsim;
+
+void BM_CalendarScheduleFire(benchmark::State& state) {
+  sim::Simulation sim;
+  double t = 0;
+  for (auto _ : state) {
+    t += 1.0;
+    sim.At(t, [] {});
+    sim.RunUntil(t);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CalendarScheduleFire);
+
+void BM_CalendarDeepQueue(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulation sim;
+    for (int i = 0; i < depth; ++i) {
+      sim.At(static_cast<double>(i), [] {});
+    }
+    state.ResumeTiming();
+    sim.Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * depth);
+}
+BENCHMARK(BM_CalendarDeepQueue)->Arg(1024)->Arg(65536);
+
+void BM_CpuProcessorSharing(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    resource::Cpu cpu(&sim, 1.0);
+    for (int i = 0; i < jobs; ++i) {
+      cpu.ExecuteSeconds(0.001 * (i + 1), resource::CpuJobClass::kUser);
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * jobs);
+}
+BENCHMARK(BM_CpuProcessorSharing)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RandomExponential(benchmark::State& state) {
+  sim::RandomStream rng(1, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Exponential(8.0));
+  }
+}
+BENCHMARK(BM_RandomExponential);
+
+void BM_AccessGeneration(benchmark::State& state) {
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  db::Catalog catalog(cfg.database,
+                      db::ComputePlacement(cfg.database, 8, 8));
+  workload::AccessGenerator gen(&cfg.workload, &catalog);
+  sim::RandomStream rng(1, 3);
+  int terminal = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Generate(terminal, rng));
+    terminal = (terminal + 1) % cfg.workload.num_terminals;
+  }
+}
+BENCHMARK(BM_AccessGeneration);
+
+void BM_LockTableGrantRelease(benchmark::State& state) {
+  sim::Simulation sim;
+  cc::LockTable table(&sim);
+  auto txn = std::make_shared<txn::Transaction>(
+      1,
+      workload::TransactionSpec{
+          0, 0, 0, config::ExecPattern::kParallel,
+          {workload::CohortSpec{1, {workload::PageAccess{PageRef{0, 0},
+                                                         false}}}}},
+      0.0, nullptr);
+  txn->BeginAttempt(0.0);
+  int page = 0;
+  for (auto _ : state) {
+    PageRef p{0, page++ & 1023};
+    table.Request(txn, p, cc::LockMode::kExclusive);
+    table.ReleaseAll(1, false);
+  }
+}
+BENCHMARK(BM_LockTableGrantRelease);
+
+// Whole-machine simulation rate: simulated events per wall second for a
+// short paper-shaped run under each algorithm.
+void BM_FullSimulation(benchmark::State& state) {
+  auto alg = static_cast<config::CcAlgorithm>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    config::SystemConfig cfg = config::PaperBaseConfig();
+    cfg.algorithm = alg;
+    cfg.workload.think_time_sec = 8.0;
+    cfg.run.warmup_sec = 5;
+    cfg.run.measure_sec = 45;
+    auto r = engine::RunSimulation(cfg);
+    events += r.events;
+    benchmark::DoNotOptimize(r.throughput);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetLabel("items = simulated events");
+}
+BENCHMARK(BM_FullSimulation)
+    ->Arg(static_cast<int>(config::CcAlgorithm::kNoDc))
+    ->Arg(static_cast<int>(config::CcAlgorithm::kTwoPhaseLocking))
+    ->Arg(static_cast<int>(config::CcAlgorithm::kWoundWait))
+    ->Arg(static_cast<int>(config::CcAlgorithm::kBasicTimestamp))
+    ->Arg(static_cast<int>(config::CcAlgorithm::kOptimistic))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

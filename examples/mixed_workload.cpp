@@ -1,0 +1,65 @@
+// Mixed workload example: the paper's workload model (Sec 3.2) supports
+// multiple transaction classes per host with their own execution patterns
+// and access profiles. This example runs a 75/25 mix of parallel "report"
+// transactions (read-mostly, all partitions) and sequential "update batch"
+// transactions (write-heavy) and compares how the four algorithms handle
+// the mix.
+//
+//   ./build/examples/mixed_workload
+
+#include <cstdio>
+
+#include "ccsim/config/params.h"
+#include "ccsim/engine/run.h"
+
+namespace {
+
+ccsim::config::SystemConfig MixedConfig(ccsim::config::CcAlgorithm alg) {
+  using namespace ccsim::config;
+  SystemConfig cfg = PaperBaseConfig();
+  cfg.algorithm = alg;
+  cfg.workload.think_time_sec = 4.0;
+
+  TransactionClassParams report;
+  report.fraction = 0.75;
+  report.exec_pattern = ExecPattern::kParallel;
+  report.pages_per_partition_avg = 8.0;
+  report.write_prob = 0.05;  // read-mostly
+  report.inst_per_page = 8000.0;
+
+  TransactionClassParams batch;
+  batch.fraction = 0.25;
+  batch.exec_pattern = ExecPattern::kSequential;
+  batch.pages_per_partition_avg = 4.0;
+  batch.write_prob = 0.75;  // write-heavy
+  batch.inst_per_page = 12000.0;
+
+  cfg.workload.classes = {report, batch};
+  cfg.run.warmup_sec = 100;
+  cfg.run.measure_sec = 600;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccsim;
+  std::printf(
+      "Mixed workload: 75%% parallel read-mostly reports + 25%% sequential "
+      "write-heavy batches\n8-node machine, 8-way declustering, think time "
+      "4 s\n\n");
+  std::printf("%-6s %12s %14s %12s %14s\n", "alg", "txns/sec", "response(s)",
+              "abort ratio", "blocking(ms)");
+
+  for (config::CcAlgorithm alg : config::kAllAlgorithms) {
+    engine::RunResult r = engine::RunSimulation(MixedConfig(alg));
+    std::printf("%-6s %12.3f %14.3f %12.3f %14.2f\n", config::ToString(alg),
+                r.throughput, r.mean_response_time, r.abort_ratio,
+                r.mean_blocking_time * 1000.0);
+  }
+  std::printf(
+      "\nBlocking algorithms (2PL, WW) shield the long sequential batches "
+      "from\nrepeated restarts; abort-based algorithms pay for every "
+      "conflict with redone work.\n");
+  return 0;
+}

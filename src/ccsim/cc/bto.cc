@@ -1,0 +1,175 @@
+#include "ccsim/cc/bto.h"
+
+#include <algorithm>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::cc {
+
+namespace {
+PageRef PageFromKey(std::uint64_t key) {
+  return PageRef{static_cast<FileId>(key >> 32),
+                 static_cast<int>(key & 0xffffffffu)};
+}
+}  // namespace
+
+BtoManager::BtoManager(CcContext* ctx, NodeId node)
+    : ctx_(ctx), node_(node) {
+  (void)node_;
+}
+
+std::shared_ptr<sim::Completion<AccessOutcome>> BtoManager::RequestAccess(
+    const txn::TxnPtr& txn, int cohort_index, const PageRef& page,
+    AccessMode mode) {
+  (void)cohort_index;
+  auto& sim = ctx_->simulation();
+  auto completion = sim::MakeCompletion<AccessOutcome>(&sim);
+  Timestamp ts = txn->attempt_ts();
+  std::uint64_t key = page.Key();
+  Item& item = items_[key];
+
+  if (mode == AccessMode::kRead) {
+    if (ts < item.wts) {
+      ++rejections_;
+      completion->Complete(AccessOutcome::kAborted);
+      return completion;
+    }
+    bool blocked = std::any_of(
+        item.pending_writes.begin(), item.pending_writes.end(),
+        [&](const PendingWrite& pw) { return pw.ts < ts; });
+    if (blocked) {
+      item.blocked_reads.push_back(BlockedRead{ts, txn, completion, sim.Now()});
+      txn_state_[txn->id()].blocked_read_keys.push_back(key);
+      ++blocked_readers_;
+      return completion;
+    }
+    if (item.rts < ts) item.rts = ts;
+    ctx_->AuditRead(*txn, page);
+    completion->Complete(AccessOutcome::kGranted);
+    return completion;
+  }
+
+  // Write request.
+  if (ts < item.rts) {
+    ++rejections_;
+    completion->Complete(AccessOutcome::kAborted);
+    return completion;
+  }
+  if (ts < item.wts) {
+    // Thomas write rule: granted, but the value will never become visible.
+    ++thomas_skips_;
+    txn_state_[txn->id()].thomas_skipped_keys.push_back(key);
+    completion->Complete(AccessOutcome::kGranted);
+    return completion;
+  }
+  auto pos = std::upper_bound(
+      item.pending_writes.begin(), item.pending_writes.end(), ts,
+      [](const Timestamp& t, const PendingWrite& pw) { return t < pw.ts; });
+  item.pending_writes.insert(pos, PendingWrite{ts, txn});
+  txn_state_[txn->id()].pending_write_keys.push_back(key);
+  completion->Complete(AccessOutcome::kGranted);
+  return completion;
+}
+
+void BtoManager::ReevaluateBlockedReads(std::uint64_t key) {
+  auto iit = items_.find(key);
+  if (iit == items_.end()) return;
+  Item& item = iit->second;
+  if (item.blocked_reads.empty()) return;
+
+  // Grant in ascending timestamp order for fairness.
+  std::stable_sort(item.blocked_reads.begin(), item.blocked_reads.end(),
+                   [](const BlockedRead& a, const BlockedRead& b) {
+                     return a.ts < b.ts;
+                   });
+  auto& sim = ctx_->simulation();
+  std::vector<BlockedRead> still_blocked;
+  for (auto& br : item.blocked_reads) {
+    if (br.ts < item.wts) {
+      // A later pending write committed first; this read is now out of order.
+      ++rejections_;
+      --blocked_readers_;
+      br.completion->Complete(AccessOutcome::kAborted);
+      continue;
+    }
+    bool blocked = std::any_of(
+        item.pending_writes.begin(), item.pending_writes.end(),
+        [&](const PendingWrite& pw) { return pw.ts < br.ts; });
+    if (blocked) {
+      still_blocked.push_back(std::move(br));
+      continue;
+    }
+    if (item.rts < br.ts) item.rts = br.ts;
+    wait_times_.Record(sim.Now() - br.since);
+    --blocked_readers_;
+    ctx_->AuditRead(*br.txn, PageFromKey(key));
+    br.completion->Complete(AccessOutcome::kGranted);
+  }
+  item.blocked_reads = std::move(still_blocked);
+}
+
+void BtoManager::CommitCohort(const txn::TxnPtr& txn, int cohort_index) {
+  (void)cohort_index;
+  auto tit = txn_state_.find(txn->id());
+  if (tit == txn_state_.end()) return;
+  TxnLocal local = std::move(tit->second);
+  txn_state_.erase(tit);
+
+  for (std::uint64_t key : local.pending_write_keys) {
+    Item& item = items_.at(key);
+    auto pw = std::find_if(
+        item.pending_writes.begin(), item.pending_writes.end(),
+        [&](const PendingWrite& p) { return p.txn->id() == txn->id(); });
+    CCSIM_CHECK_MSG(pw != item.pending_writes.end(),
+                    "pending write vanished before commit");
+    Timestamp ts = pw->ts;
+    item.pending_writes.erase(pw);
+    if (ts > item.wts) {
+      item.wts = ts;
+      ctx_->AuditInstallWrite(*txn, PageFromKey(key));
+    } else {
+      // A later write was installed while this one was pending.
+      ctx_->AuditSkippedWrite(*txn, PageFromKey(key));
+    }
+    ReevaluateBlockedReads(key);
+  }
+  for (std::uint64_t key : local.thomas_skipped_keys) {
+    ctx_->AuditSkippedWrite(*txn, PageFromKey(key));
+  }
+}
+
+void BtoManager::AbortCohort(const txn::TxnPtr& txn, int cohort_index) {
+  (void)cohort_index;
+  // Drop this cohort's pending writes (never installed) and wake any of its
+  // own still-blocked reads with kAborted.
+  auto tit = txn_state_.find(txn->id());
+  if (tit == txn_state_.end()) return;
+  TxnLocal local = std::move(tit->second);
+  txn_state_.erase(tit);
+  for (std::uint64_t key : local.pending_write_keys) {
+    Item& item = items_.at(key);
+    auto pw = std::find_if(
+        item.pending_writes.begin(), item.pending_writes.end(),
+        [&](const PendingWrite& p) { return p.txn->id() == txn->id(); });
+    if (pw != item.pending_writes.end()) item.pending_writes.erase(pw);
+    ReevaluateBlockedReads(key);
+  }
+  // Wake the cohort's own still-blocked reads with kAborted (the keys are
+  // hints: an already-granted or rejected read simply is not found).
+  for (std::uint64_t key : local.blocked_read_keys) {
+    auto iit = items_.find(key);
+    if (iit == items_.end()) continue;
+    auto& reads = iit->second.blocked_reads;
+    for (auto it = reads.begin(); it != reads.end();) {
+      if (it->txn->id() == txn->id()) {
+        --blocked_readers_;
+        it->completion->Complete(AccessOutcome::kAborted);
+        it = reads.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace ccsim::cc

@@ -1,0 +1,252 @@
+#include "ccsim/cc/lock_table.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::cc {
+
+namespace {
+bool Conflicts(LockMode a, LockMode b) { return !Compatible(a, b); }
+}  // namespace
+
+LockTable::RequestResult LockTable::Request(const txn::TxnPtr& txn,
+                                            const PageRef& page,
+                                            LockMode mode) {
+  std::uint64_t key = page.Key();
+  Entry& entry = entries_[key];
+  TxnId id = txn->id();
+
+  RequestResult result;
+  result.completion = sim::MakeCompletion<AccessOutcome>(sim_);
+
+  auto held = entry.holders.find(id);
+  bool is_upgrade = false;
+  if (held != entry.holders.end()) {
+    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      // Re-request of an already-covered mode: trivially granted.
+      result.granted_immediately = true;
+      result.completion->Complete(AccessOutcome::kGranted);
+      return result;
+    }
+    is_upgrade = true;  // holds kShared, wants kExclusive
+    if (entry.holders.size() == 1) {
+      // Sole holder: convert in place.
+      held->second = LockMode::kExclusive;
+      result.granted_immediately = true;
+      result.completion->Complete(AccessOutcome::kGranted);
+      return result;
+    }
+  } else if (entry.queue.empty() || allow_queue_jump_) {
+    bool compatible = true;
+    for (const auto& [hid, hmode] : entry.holders) {
+      if (Conflicts(hmode, mode)) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible && allow_queue_jump_ && entry.holders.empty() &&
+        !entry.queue.empty()) {
+      // Nothing is held but waiters are pending (all blocked on each other
+      // via queue order after a release): do not overtake them.
+      compatible = false;
+    }
+    if (compatible) {
+      entry.holders.emplace(id, mode);
+      entry.holder_refs.emplace(id, txn);
+      txn_keys_[id].push_back(key);
+      result.granted_immediately = true;
+      result.completion->Complete(AccessOutcome::kGranted);
+      return result;
+    }
+  }
+
+  // Must wait. Collect blockers: incompatible holders (self excluded) and
+  // conflicting requests queued ahead.
+  for (const auto& [hid, hmode] : entry.holders) {
+    if (hid == id) continue;
+    if (is_upgrade || Conflicts(hmode, mode)) {
+      result.blockers.push_back(entry.holder_refs.at(hid));
+    }
+  }
+
+  // Upgrades wait at the front, after any upgrades already queued.
+  std::size_t insert_pos = entry.queue.size();
+  if (is_upgrade) {
+    insert_pos = 0;
+    while (insert_pos < entry.queue.size() &&
+           entry.queue[insert_pos].is_upgrade) {
+      ++insert_pos;
+    }
+  }
+  for (std::size_t i = 0; i < insert_pos; ++i) {
+    const Waiter& ahead = entry.queue[i];
+    CCSIM_CHECK_MSG(ahead.txn->id() != id,
+                    "transaction enqueued twice on one lock");
+    if (Conflicts(ahead.mode, mode) || ahead.mode == LockMode::kExclusive ||
+        mode == LockMode::kExclusive) {
+      result.blockers.push_back(ahead.txn);
+    }
+  }
+
+  Waiter waiter{txn, mode, is_upgrade, result.completion, sim_->Now()};
+  entry.queue.insert(entry.queue.begin() +
+                         static_cast<std::ptrdiff_t>(insert_pos),
+                     std::move(waiter));
+  ++waiting_count_;
+  txn_keys_[id].push_back(key);
+  return result;
+}
+
+bool LockTable::CanGrant(const Entry& entry, TxnId txn, LockMode mode) const {
+  for (const auto& [hid, hmode] : entry.holders) {
+    if (hid == txn) continue;  // upgrade: ignore own shared hold
+    if (Conflicts(hmode, mode)) return false;
+  }
+  return true;
+}
+
+void LockTable::PumpQueue(std::uint64_t key) {
+  auto eit = entries_.find(key);
+  if (eit == entries_.end()) return;
+  Entry& entry = eit->second;
+  // Strict FIFO: grant only the compatible prefix of the queue. With queue
+  // jumping: grant every waiter compatible with the current holders (the
+  // "maximum concurrency" policy; readers can overtake queued writers).
+  std::size_t scan = 0;
+  while (scan < entry.queue.size()) {
+    Waiter& w = entry.queue[scan];
+    if (!CanGrant(entry, w.txn->id(), w.mode)) {
+      if (!allow_queue_jump_) break;
+      ++scan;
+      continue;
+    }
+    Waiter granted = std::move(w);
+    entry.queue.erase(entry.queue.begin() +
+                      static_cast<std::ptrdiff_t>(scan));
+    --waiting_count_;
+    TxnId id = granted.txn->id();
+    auto hit = entry.holders.find(id);
+    if (hit != entry.holders.end()) {
+      CCSIM_CHECK(granted.is_upgrade);
+      hit->second = LockMode::kExclusive;
+    } else {
+      entry.holders.emplace(id, granted.mode);
+      entry.holder_refs.emplace(id, granted.txn);
+      // Waiting already registered this key in txn_keys_.
+    }
+    wait_times_.Record(sim_->Now() - granted.since);
+    if (on_delayed_grant_) {
+      PageRef page{static_cast<FileId>(key >> 32),
+                   static_cast<int>(key & 0xffffffffu)};
+      on_delayed_grant_(granted.txn, page, granted.mode);
+    }
+    granted.completion->Complete(AccessOutcome::kGranted);
+  }
+  if (entry.holders.empty() && entry.queue.empty()) entries_.erase(eit);
+}
+
+void LockTable::ReleaseAll(TxnId txn, bool abort_waiters) {
+  auto kit = txn_keys_.find(txn);
+  if (kit == txn_keys_.end()) return;
+  std::vector<std::uint64_t> keys = std::move(kit->second);
+  txn_keys_.erase(kit);
+  // De-duplicate (a txn can both hold and wait-upgrade on one key).
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  for (std::uint64_t key : keys) {
+    auto eit = entries_.find(key);
+    if (eit == entries_.end()) continue;
+    Entry& entry = eit->second;
+    entry.holders.erase(txn);
+    entry.holder_refs.erase(txn);
+    for (auto qit = entry.queue.begin(); qit != entry.queue.end();) {
+      if (qit->txn->id() == txn) {
+        CCSIM_CHECK_MSG(abort_waiters,
+                        "commit released a lock with a pending request");
+        --waiting_count_;
+        qit->completion->Complete(AccessOutcome::kAborted);
+        qit = entry.queue.erase(qit);
+      } else {
+        ++qit;
+      }
+    }
+    PumpQueue(key);
+    // PumpQueue may have erased the entry already; re-check and erase if
+    // empty.
+    eit = entries_.find(key);
+    if (eit != entries_.end() && eit->second.holders.empty() &&
+        eit->second.queue.empty()) {
+      entries_.erase(eit);
+    }
+  }
+}
+
+bool LockTable::CancelRequest(TxnId txn, const PageRef& page) {
+  auto eit = entries_.find(page.Key());
+  if (eit == entries_.end()) return false;
+  Entry& entry = eit->second;
+  for (auto qit = entry.queue.begin(); qit != entry.queue.end(); ++qit) {
+    if (qit->txn->id() != txn) continue;
+    auto completion = qit->completion;
+    entry.queue.erase(qit);
+    --waiting_count_;
+    completion->Complete(AccessOutcome::kAborted);
+    PumpQueue(page.Key());
+    eit = entries_.find(page.Key());
+    if (eit != entries_.end() && eit->second.holders.empty() &&
+        eit->second.queue.empty()) {
+      entries_.erase(eit);
+    }
+    return true;
+  }
+  return false;
+}
+
+std::vector<WaitEdge> LockTable::WaitsForEdges() const {
+  std::vector<WaitEdge> edges;
+  for (const auto& [key, entry] : entries_) {
+    for (std::size_t i = 0; i < entry.queue.size(); ++i) {
+      const Waiter& w = entry.queue[i];
+      for (const auto& [hid, hmode] : entry.holders) {
+        if (hid == w.txn->id()) continue;
+        if (w.is_upgrade || Conflicts(hmode, w.mode)) {
+          edges.push_back(WaitEdge{w.txn->id(), w.txn->initial_ts(), hid,
+                                   entry.holder_refs.at(hid)->initial_ts()});
+        }
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        const Waiter& ahead = entry.queue[j];
+        if (ahead.mode == LockMode::kExclusive ||
+            w.mode == LockMode::kExclusive) {
+          edges.push_back(WaitEdge{w.txn->id(), w.txn->initial_ts(),
+                                   ahead.txn->id(), ahead.txn->initial_ts()});
+        }
+      }
+    }
+  }
+  return edges;
+}
+
+bool LockTable::IsWaiting(TxnId txn) const {
+  auto kit = txn_keys_.find(txn);
+  if (kit == txn_keys_.end()) return false;
+  for (std::uint64_t key : kit->second) {
+    auto eit = entries_.find(key);
+    if (eit == entries_.end()) continue;
+    for (const Waiter& w : eit->second.queue) {
+      if (w.txn->id() == txn) return true;
+    }
+  }
+  return false;
+}
+
+bool LockTable::HoldsLock(TxnId txn, const PageRef& page) const {
+  auto eit = entries_.find(page.Key());
+  if (eit == entries_.end()) return false;
+  return eit->second.holders.count(txn) > 0;
+}
+
+}  // namespace ccsim::cc

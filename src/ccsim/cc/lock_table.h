@@ -1,0 +1,134 @@
+#ifndef CCSIM_CC_LOCK_TABLE_H_
+#define CCSIM_CC_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ccsim/cc/cc_manager.h"
+#include "ccsim/common/types.h"
+#include "ccsim/sim/completion.h"
+#include "ccsim/sim/simulation.h"
+#include "ccsim/stats/tally.h"
+#include "ccsim/txn/transaction.h"
+
+namespace ccsim::cc {
+
+/// Lock modes: read locks can be shared, write locks cannot (Sec 2.2).
+enum class LockMode { kShared, kExclusive };
+
+/// Returns true when a lock held in `held` is compatible with a request for
+/// `requested`.
+constexpr bool Compatible(LockMode held, LockMode requested) {
+  return held == LockMode::kShared && requested == LockMode::kShared;
+}
+
+/// Page-level lock table: the mechanism shared by 2PL and WW. Pure
+/// mechanism - conflict *policy* (wait quietly, detect deadlocks, or wound)
+/// lives in the owning CC manager, which inspects the conflicting
+/// transactions returned by Request().
+///
+/// Queue discipline: FIFO, except that upgrade requests (shared -> exclusive
+/// by a current holder) wait at the front, ahead of ordinary waiters.
+/// A request never jumps an occupied queue even if it is compatible with the
+/// current holders (prevents writer starvation).
+class LockTable {
+ public:
+  explicit LockTable(sim::Simulation* sim) : sim_(sim) {}
+  LockTable(const LockTable&) = delete;
+  LockTable& operator=(const LockTable&) = delete;
+
+  /// Invoked at the exact moment a previously blocked request is granted
+  /// (immediate grants are visible to the caller via RequestResult). Used by
+  /// the owning manager for read-version auditing.
+  using GrantCallback =
+      std::function<void(const txn::TxnPtr&, const PageRef&, LockMode)>;
+  void set_on_delayed_grant(GrantCallback cb) {
+    on_delayed_grant_ = std::move(cb);
+  }
+
+  /// Queue policy. When false (default, the classic Gray-style manager a la
+  /// [Gray79]), a new request never jumps an occupied queue even if it is
+  /// compatible with the current holders - writers cannot starve, but
+  /// readers arriving behind a queued writer wait and add waits-for edges.
+  /// When true, a request compatible with every current holder is granted
+  /// immediately regardless of queued waiters.
+  void set_allow_queue_jump(bool allow) { allow_queue_jump_ = allow; }
+  bool allow_queue_jump() const { return allow_queue_jump_; }
+
+  struct RequestResult {
+    std::shared_ptr<sim::Completion<AccessOutcome>> completion;
+    bool granted_immediately = false;
+    /// When queued: the transactions this request now waits for (incompatible
+    /// holders plus incompatible requests queued ahead). Each entry carries
+    /// the initial timestamp needed by wound/victim policies.
+    std::vector<txn::TxnPtr> blockers;
+  };
+
+  /// Requests `mode` on `page` for `txn`. Re-requesting a held mode (or a
+  /// weaker one) grants immediately; holding kShared and requesting
+  /// kExclusive queues an upgrade.
+  RequestResult Request(const txn::TxnPtr& txn, const PageRef& page,
+                        LockMode mode);
+
+  /// Releases everything `txn` holds or waits for on this table. Pending
+  /// requests complete with kAborted if `abort_waiters` is true (abort path;
+  /// commit never leaves pending requests). Wakes newly grantable waiters.
+  void ReleaseAll(TxnId txn, bool abort_waiters);
+
+  /// Cancels one waiting request of `txn` on `page`, completing it with
+  /// kAborted and waking newly grantable waiters. Held locks are untouched.
+  /// Returns false if no such waiting request exists (e.g. it was granted
+  /// in the meantime). Used by wait-die (the requester "dies") and by
+  /// timeout-based blocking.
+  bool CancelRequest(TxnId txn, const PageRef& page);
+
+  /// Txn-level waits-for edges over the current queues.
+  std::vector<WaitEdge> WaitsForEdges() const;
+
+  /// Blockers of one waiting transaction (for local deadlock detection the
+  /// caller usually wants WaitsForEdges(); this is a convenience for tests).
+  bool IsWaiting(TxnId txn) const;
+  bool HoldsLock(TxnId txn, const PageRef& page) const;
+  std::size_t num_locked_pages() const { return entries_.size(); }
+  std::size_t num_waiting_requests() const { return waiting_count_; }
+
+  /// Time blocked requests waited before being granted.
+  const stats::Tally& wait_times() const { return wait_times_; }
+  void ResetStats() { wait_times_.Reset(); }
+
+ private:
+  struct Waiter {
+    txn::TxnPtr txn;
+    LockMode mode;
+    bool is_upgrade;
+    std::shared_ptr<sim::Completion<AccessOutcome>> completion;
+    sim::SimTime since;
+  };
+  struct Entry {
+    // Holders and their modes. At most one holder when exclusive.
+    std::map<TxnId, LockMode> holders;
+    std::deque<Waiter> queue;
+    // Live Transaction handles of holders (for blocker reporting).
+    std::map<TxnId, txn::TxnPtr> holder_refs;
+  };
+
+  bool CanGrant(const Entry& entry, TxnId txn, LockMode mode) const;
+  void PumpQueue(std::uint64_t key);
+
+  sim::Simulation* sim_;
+  GrantCallback on_delayed_grant_;
+  bool allow_queue_jump_ = false;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  // All lock keys a txn holds or waits on (for ReleaseAll).
+  std::unordered_map<TxnId, std::vector<std::uint64_t>> txn_keys_;
+  stats::Tally wait_times_;
+  std::size_t waiting_count_ = 0;
+};
+
+}  // namespace ccsim::cc
+
+#endif  // CCSIM_CC_LOCK_TABLE_H_

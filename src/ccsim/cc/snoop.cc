@@ -1,0 +1,84 @@
+#include "ccsim/cc/snoop.h"
+
+#include <utility>
+
+#include "ccsim/cc/waits_for_graph.h"
+#include "ccsim/sim/check.h"
+#include "ccsim/sim/completion.h"
+
+namespace ccsim::cc {
+
+Snoop::Snoop(CcContext* ctx, net::Network* network,
+             std::vector<TwoPhaseLockingManager*> managers_by_proc_node,
+             double interval_sec)
+    : ctx_(ctx),
+      network_(network),
+      managers_(std::move(managers_by_proc_node)),
+      interval_(interval_sec) {
+  CCSIM_CHECK(!managers_.empty());
+  CCSIM_CHECK(interval_sec > 0.0);
+}
+
+void Snoop::Start() {
+  CCSIM_CHECK_MSG(!started_, "Snoop started twice");
+  started_ = true;
+  Run();
+}
+
+sim::Process Snoop::Run() {
+  auto& sim = ctx_->simulation();
+  int num_nodes = static_cast<int>(managers_.size());
+  NodeId current = 1;  // duty starts at the first processing node
+  for (;;) {
+    co_await sim.Delay(interval_);
+    ++rounds_;
+
+    // Gather waits-for information from every node. The duty node reads its
+    // own table directly; remote tables are fetched with a query/reply
+    // message pair each.
+    auto edges = std::make_shared<std::vector<WaitEdge>>(
+        manager(current)->LocalWaitsForEdges());
+    auto latch = std::make_shared<sim::Latch>(&sim, num_nodes - 1);
+    for (NodeId m = 1; m <= num_nodes; ++m) {
+      if (m == current) continue;
+      network_->Send(current, m, net::MsgTag::kSnoopQuery,
+                     [this, m, current, edges, latch] {
+                       auto local = manager(m)->LocalWaitsForEdges();
+                       network_->Send(
+                           m, current, net::MsgTag::kSnoopReply,
+                           [edges, latch, local = std::move(local)] {
+                             edges->insert(edges->end(), local.begin(),
+                                           local.end());
+                             latch->CountDown();
+                           });
+                     });
+    }
+    co_await sim::Await(latch->completion());
+
+    WaitsForGraph graph;
+    graph.AddEdges(*edges);
+    for (TxnId victim_id : graph.ResolveAllDeadlocks()) {
+      // Resolve the victim to a live handle through any node that knows it.
+      // Stale victims (already aborted/committed since the snapshot) simply
+      // fail to resolve, or are ignored by the coordinator.
+      txn::TxnPtr victim;
+      for (auto* mgr : managers_) {
+        victim = mgr->FindTxn(victim_id);
+        if (victim) break;
+      }
+      if (!victim) continue;
+      ++victims_;
+      ctx_->RequestAbort(victim, victim->attempt(), current,
+                         txn::AbortReason::kGlobalDeadlock);
+    }
+
+    // Pass the duty on (round-robin).
+    NodeId next = (current % num_nodes) + 1;
+    if (next != current) {
+      network_->Send(current, next, net::MsgTag::kSnoopHandoff, [] {});
+    }
+    current = next;
+  }
+}
+
+}  // namespace ccsim::cc

@@ -1,0 +1,52 @@
+#ifndef CCSIM_CC_SNOOP_H_
+#define CCSIM_CC_SNOOP_H_
+
+#include <memory>
+#include <vector>
+
+#include "ccsim/cc/cc_manager.h"
+#include "ccsim/cc/two_phase_locking.h"
+#include "ccsim/common/types.h"
+#include "ccsim/net/network.h"
+#include "ccsim/sim/process.h"
+
+namespace ccsim::cc {
+
+/// The rotating "Snoop" global deadlock detector of Sec 2.2 (after
+/// Distributed INGRES [Ston79]).
+///
+/// The node currently holding the Snoop duty waits DetectionInterval, sends a
+/// waits-for query message to every other processing node, unions the replies
+/// with its own local waits-for edges, resolves every global cycle by
+/// aborting its youngest member, then hands the duty to the next node
+/// round-robin (one handoff message).
+class Snoop {
+ public:
+  Snoop(CcContext* ctx, net::Network* network,
+        std::vector<TwoPhaseLockingManager*> managers_by_proc_node,
+        double interval_sec);
+
+  /// Spawns the detector process. Call once.
+  void Start();
+
+  std::uint64_t detection_rounds() const { return rounds_; }
+  std::uint64_t victims_aborted() const { return victims_; }
+
+ private:
+  sim::Process Run();
+  TwoPhaseLockingManager* manager(NodeId proc_node) const {
+    return managers_[static_cast<std::size_t>(proc_node - 1)];
+  }
+
+  CcContext* ctx_;
+  net::Network* network_;
+  std::vector<TwoPhaseLockingManager*> managers_;  // index 0 = proc node 1
+  double interval_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t victims_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ccsim::cc
+
+#endif  // CCSIM_CC_SNOOP_H_

@@ -1,0 +1,80 @@
+#include "ccsim/cc/two_phase_locking.h"
+
+#include "ccsim/cc/waits_for_graph.h"
+#include "ccsim/sim/check.h"
+
+namespace ccsim::cc {
+
+TwoPhaseLockingManager::TwoPhaseLockingManager(CcContext* ctx, NodeId node)
+    : ctx_(ctx), node_(node), lock_table_(&ctx->simulation()) {
+  lock_table_.set_allow_queue_jump(ctx->config().locking.queue_jump);
+  // Audit the read version at the exact grant time, including grants that
+  // happen after a wait (exclusive locks block installs, so the version a
+  // shared lock sees at grant time is the one the cohort reads).
+  lock_table_.set_on_delayed_grant(
+      [this](const txn::TxnPtr& t, const PageRef& page, LockMode mode) {
+        if (mode == LockMode::kShared) ctx_->AuditRead(*t, page);
+      });
+}
+
+void TwoPhaseLockingManager::BeginCohort(const txn::TxnPtr& txn,
+                                         int cohort_index) {
+  (void)cohort_index;
+  registry_[txn->id()] = txn;
+}
+
+txn::TxnPtr TwoPhaseLockingManager::FindTxn(TxnId id) const {
+  auto it = registry_.find(id);
+  return it != registry_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<sim::Completion<AccessOutcome>>
+TwoPhaseLockingManager::RequestAccess(const txn::TxnPtr& txn, int cohort_index,
+                                      const PageRef& page, AccessMode mode) {
+  (void)cohort_index;
+  LockMode lock_mode =
+      mode == AccessMode::kWrite ? LockMode::kExclusive : LockMode::kShared;
+  auto result = lock_table_.Request(txn, page, lock_mode);
+  if (result.granted_immediately) {
+    if (mode == AccessMode::kRead) ctx_->AuditRead(*txn, page);
+    return result.completion;
+  }
+
+  // The cohort blocked: run local deadlock detection (Sec 2.2: "local
+  // deadlock detection occurs whenever a cohort blocks").
+  DetectLocalDeadlock(txn);
+  return result.completion;
+}
+
+void TwoPhaseLockingManager::DetectLocalDeadlock(const txn::TxnPtr& txn) {
+  WaitsForGraph graph;
+  graph.AddEdges(lock_table_.WaitsForEdges());
+  auto cycle = graph.FindCycleFrom(txn->id());
+  if (!cycle.empty()) {
+    TxnId victim_id = graph.YoungestOf(cycle);
+    txn::TxnPtr victim = FindTxn(victim_id);
+    CCSIM_CHECK_MSG(victim != nullptr, "deadlock victim not registered");
+    ctx_->RequestAbort(victim, victim->attempt(), node_,
+                       txn::AbortReason::kLocalDeadlock);
+  }
+}
+
+void TwoPhaseLockingManager::CommitCohort(const txn::TxnPtr& txn,
+                                          int cohort_index) {
+  // Install this cohort's updates (audit), then release all locks.
+  const auto& spec = txn->cohort_spec(cohort_index);
+  for (const auto& access : spec.accesses) {
+    if (access.is_write) ctx_->AuditInstallWrite(*txn, access.page);
+  }
+  lock_table_.ReleaseAll(txn->id(), /*abort_waiters=*/false);
+  registry_.erase(txn->id());
+}
+
+void TwoPhaseLockingManager::AbortCohort(const txn::TxnPtr& txn,
+                                         int cohort_index) {
+  (void)cohort_index;
+  lock_table_.ReleaseAll(txn->id(), /*abort_waiters=*/true);
+  registry_.erase(txn->id());
+}
+
+}  // namespace ccsim::cc

@@ -1,0 +1,38 @@
+#ifndef CCSIM_CC_TWO_PHASE_LOCKING_TIMEOUT_H_
+#define CCSIM_CC_TWO_PHASE_LOCKING_TIMEOUT_H_
+
+#include <memory>
+
+#include "ccsim/cc/two_phase_locking.h"
+
+namespace ccsim::cc {
+
+/// 2PL with timeout-based deadlock handling (extension; footnote 2 of the
+/// paper cites [Jenq89]'s finding that the timeout interval is a critical
+/// and sensitive parameter - bench/ablation_lock_timeout reproduces that).
+///
+/// No deadlock detection runs at all (no local cycle search, no Snoop): a
+/// request that has waited longer than LockingParams::timeout_sec simply
+/// aborts its transaction. Short timeouts slaughter transactions that were
+/// merely queued; long timeouts let deadlocked transactions clog the system.
+class TwoPhaseLockingTimeoutManager : public TwoPhaseLockingManager {
+ public:
+  TwoPhaseLockingTimeoutManager(CcContext* ctx, NodeId node);
+
+  std::shared_ptr<sim::Completion<AccessOutcome>> RequestAccess(
+      const txn::TxnPtr& txn, int cohort_index, const PageRef& page,
+      AccessMode mode) override;
+
+  /// Timeouts never consult waits-for information.
+  std::vector<WaitEdge> LocalWaitsForEdges() const override { return {}; }
+
+  std::uint64_t timeouts_fired() const { return timeouts_; }
+
+ private:
+  double timeout_sec_;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace ccsim::cc
+
+#endif  // CCSIM_CC_TWO_PHASE_LOCKING_TIMEOUT_H_

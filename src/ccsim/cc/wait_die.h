@@ -1,0 +1,36 @@
+#ifndef CCSIM_CC_WAIT_DIE_H_
+#define CCSIM_CC_WAIT_DIE_H_
+
+#include <memory>
+
+#include "ccsim/cc/two_phase_locking.h"
+
+namespace ccsim::cc {
+
+/// Wait-die locking - the second deadlock-prevention scheme of [Rose78]
+/// (extension; the paper evaluates only its sibling, wound-wait).
+///
+/// Timestamp rule, dual to wound-wait: an *older* requester may wait for a
+/// younger lock holder, but a *younger* requester conflicting with an older
+/// transaction aborts itself immediately ("dies"). Deaths are cheap - they
+/// happen at request time, before any work is wasted on waiting - and, like
+/// wound-wait, the scheme is deadlock-free (all waits are old-waits-for-
+/// young). Restarted transactions keep their initial timestamps, so every
+/// transaction eventually becomes the oldest and cannot die forever.
+class WaitDieManager : public TwoPhaseLockingManager {
+ public:
+  WaitDieManager(CcContext* ctx, NodeId node);
+
+  std::shared_ptr<sim::Completion<AccessOutcome>> RequestAccess(
+      const txn::TxnPtr& txn, int cohort_index, const PageRef& page,
+      AccessMode mode) override;
+
+  std::uint64_t deaths() const { return deaths_; }
+
+ private:
+  std::uint64_t deaths_ = 0;
+};
+
+}  // namespace ccsim::cc
+
+#endif  // CCSIM_CC_WAIT_DIE_H_

@@ -1,0 +1,109 @@
+#include "ccsim/cc/waits_for_graph.h"
+
+#include <algorithm>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::cc {
+
+void WaitsForGraph::AddEdge(const WaitEdge& edge) {
+  if (edge.waiter == edge.holder) return;  // self-waits are impossible; guard
+  adjacency_[edge.waiter].push_back(edge.holder);
+  adjacency_.try_emplace(edge.holder);
+  // Keep the earliest timestamp seen for each transaction (they should all
+  // agree; edges from different nodes carry the same initial_ts).
+  timestamps_.try_emplace(edge.waiter, edge.waiter_ts);
+  timestamps_.try_emplace(edge.holder, edge.holder_ts);
+}
+
+void WaitsForGraph::AddEdges(const std::vector<WaitEdge>& edges) {
+  for (const auto& e : edges) AddEdge(e);
+}
+
+std::size_t WaitsForGraph::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& [id, outs] : adjacency_) n += outs.size();
+  return n;
+}
+
+std::vector<TxnId> WaitsForGraph::FindCycleFrom(TxnId start) const {
+  if (adjacency_.find(start) == adjacency_.end()) return {};
+  // Iterative DFS tracking the current path; a back-edge onto the path
+  // yields the cycle members.
+  std::unordered_map<TxnId, int> state;  // 0 unvisited, 1 on path, 2 done
+  std::vector<std::pair<TxnId, std::size_t>> stack;  // (node, next edge idx)
+  std::vector<TxnId> path;
+
+  stack.emplace_back(start, 0);
+  state[start] = 1;
+  path.push_back(start);
+
+  while (!stack.empty()) {
+    auto& [node, idx] = stack.back();
+    auto ait = adjacency_.find(node);
+    const std::vector<TxnId>* outs = ait != adjacency_.end() ? &ait->second : nullptr;
+    if (outs == nullptr || idx >= outs->size()) {
+      state[node] = 2;
+      stack.pop_back();
+      path.pop_back();
+      continue;
+    }
+    TxnId next = (*outs)[idx++];
+    int s = state.count(next) ? state[next] : 0;
+    if (s == 1) {
+      // Found a cycle: members are the path suffix from `next`.
+      auto pit = std::find(path.begin(), path.end(), next);
+      CCSIM_CHECK(pit != path.end());
+      return std::vector<TxnId>(pit, path.end());
+    }
+    if (s == 0) {
+      state[next] = 1;
+      stack.emplace_back(next, 0);
+      path.push_back(next);
+    }
+  }
+  return {};
+}
+
+std::vector<TxnId> WaitsForGraph::FindAnyCycle() const {
+  for (const auto& [id, outs] : adjacency_) {
+    auto cycle = FindCycleFrom(id);
+    if (!cycle.empty()) return cycle;
+  }
+  return {};
+}
+
+TxnId WaitsForGraph::YoungestOf(const std::vector<TxnId>& cycle) const {
+  CCSIM_CHECK(!cycle.empty());
+  TxnId youngest = cycle.front();
+  Timestamp best = timestamps_.at(youngest);
+  for (TxnId id : cycle) {
+    Timestamp ts = timestamps_.at(id);
+    if (best < ts) {  // larger timestamp = more recent startup = younger
+      best = ts;
+      youngest = id;
+    }
+  }
+  return youngest;
+}
+
+void WaitsForGraph::RemoveNode(TxnId id) {
+  adjacency_.erase(id);
+  for (auto& [node, outs] : adjacency_) {
+    outs.erase(std::remove(outs.begin(), outs.end(), id), outs.end());
+  }
+}
+
+std::vector<TxnId> WaitsForGraph::ResolveAllDeadlocks() {
+  std::vector<TxnId> victims;
+  for (;;) {
+    auto cycle = FindAnyCycle();
+    if (cycle.empty()) break;
+    TxnId victim = YoungestOf(cycle);
+    victims.push_back(victim);
+    RemoveNode(victim);
+  }
+  return victims;
+}
+
+}  // namespace ccsim::cc

@@ -1,0 +1,49 @@
+#ifndef CCSIM_CC_WAITS_FOR_GRAPH_H_
+#define CCSIM_CC_WAITS_FOR_GRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ccsim/cc/cc_manager.h"
+#include "ccsim/common/types.h"
+
+namespace ccsim::cc {
+
+/// A transaction-level waits-for graph built from WaitEdge lists (one node's
+/// lock table for local detection; the union of all nodes' for the Snoop's
+/// global detection). Victim selection follows Sec 2.2: abort the
+/// transaction with the most recent initial startup time among those in the
+/// cycle.
+class WaitsForGraph {
+ public:
+  WaitsForGraph() = default;
+
+  void AddEdges(const std::vector<WaitEdge>& edges);
+  void AddEdge(const WaitEdge& edge);
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_edges() const;
+
+  /// Finds a cycle reachable from `start`, if any, and returns its members
+  /// (empty if none). Used for local detection at block time.
+  std::vector<TxnId> FindCycleFrom(TxnId start) const;
+
+  /// Global detection: repeatedly finds a cycle anywhere in the graph,
+  /// selects the youngest member as victim, removes it, and continues until
+  /// the graph is acyclic. Returns the victims in detection order.
+  std::vector<TxnId> ResolveAllDeadlocks();
+
+  /// Youngest (most recent initial startup) member of `cycle`.
+  TxnId YoungestOf(const std::vector<TxnId>& cycle) const;
+
+ private:
+  std::vector<TxnId> FindAnyCycle() const;
+  void RemoveNode(TxnId id);
+
+  std::unordered_map<TxnId, std::vector<TxnId>> adjacency_;
+  std::unordered_map<TxnId, Timestamp> timestamps_;
+};
+
+}  // namespace ccsim::cc
+
+#endif  // CCSIM_CC_WAITS_FOR_GRAPH_H_

@@ -1,0 +1,161 @@
+#include "ccsim/config/params.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace ccsim::config {
+
+namespace {
+
+// FNV-1a over a byte-serialized view of the config. Doubles are hashed via
+// their bit patterns; this is a cache key, not a cryptographic digest.
+class Hasher {
+ public:
+  void Mix(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    MixBits(bits);
+  }
+  void Mix(std::uint64_t v) { MixBits(v); }
+  void Mix(int v) { MixBits(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  void Mix(bool v) { MixBits(v ? 1 : 0); }
+  std::uint64_t digest() const { return h_; }
+
+ private:
+  void MixBits(std::uint64_t bits) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (bits >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+std::string SystemConfig::Validate() const {
+  std::ostringstream err;
+  if (machine.num_proc_nodes < 1) return "num_proc_nodes must be >= 1";
+  if (machine.host_mips <= 0 || machine.node_mips <= 0)
+    return "CPU rates must be positive";
+  if (machine.disks_per_node < 1) return "disks_per_node must be >= 1";
+  if (machine.min_disk_ms < 0 || machine.max_disk_ms < machine.min_disk_ms)
+    return "disk time range invalid";
+  if (database.num_relations < 1 || database.partitions_per_relation < 1)
+    return "database shape invalid";
+  if (database.pages_per_file < 1) return "pages_per_file must be >= 1";
+  if (placement.degree < 1) return "placement degree must be >= 1";
+  if (placement.degree > machine.num_proc_nodes)
+    return "placement degree exceeds number of processing nodes";
+  if (database.partitions_per_relation % placement.degree != 0)
+    return "placement degree must divide partitions_per_relation";
+  if (machine.num_proc_nodes % placement.degree != 0)
+    return "placement degree must divide num_proc_nodes";
+  if (workload.num_terminals < 1) return "num_terminals must be >= 1";
+  if (workload.think_time_sec < 0) return "think_time_sec must be >= 0";
+  if (workload.classes.empty()) return "at least one transaction class";
+  double frac = 0.0;
+  for (const auto& c : workload.classes) {
+    if (c.fraction < 0) return "class fraction must be >= 0";
+    frac += c.fraction;
+    if (c.pages_per_partition_avg <= 0) return "pages_per_partition_avg must be > 0";
+    if (c.write_prob < 0 || c.write_prob > 1) return "write_prob out of range";
+    if (c.inst_per_page < 0) return "inst_per_page must be >= 0";
+    int lo = static_cast<int>(c.pages_per_partition_avg / 2.0);
+    if (lo < 1) return "pages_per_partition_avg too small (min count < 1)";
+    // The largest possible per-partition count must fit in the file.
+    int hi = (c.spread == PageCountSpread::kSymmetric)
+                 ? static_cast<int>(3.0 * c.pages_per_partition_avg / 2.0)
+                 : static_cast<int>(2.0 * c.pages_per_partition_avg);
+    if (hi > database.pages_per_file)
+      return "pages_per_partition max exceeds pages_per_file";
+  }
+  if (std::abs(frac - 1.0) > 1e-9) return "class fractions must sum to 1";
+  if (workload.classes[0].relation_choice == RelationChoice::kByTerminalGroup &&
+      workload.num_terminals % database.num_relations != 0)
+    return "num_terminals must be a multiple of num_relations for "
+           "terminal-group relation choice";
+  if (costs.inst_per_update < 0 || costs.inst_per_startup < 0 ||
+      costs.inst_per_msg < 0 || costs.inst_per_cc_req < 0)
+    return "cost instruction counts must be >= 0";
+  if (costs.deadlock_interval_sec <= 0)
+    return "deadlock_interval_sec must be > 0";
+  if (locking.timeout_sec <= 0) return "locking timeout_sec must be > 0";
+  if (run.warmup_sec < 0 || run.measure_sec <= 0) return "run window invalid";
+  return "";
+}
+
+std::uint64_t SystemConfig::Fingerprint() const {
+  Hasher h;
+  h.Mix(machine.num_proc_nodes);
+  h.Mix(machine.host_mips);
+  h.Mix(machine.node_mips);
+  h.Mix(machine.disks_per_node);
+  h.Mix(machine.min_disk_ms);
+  h.Mix(machine.max_disk_ms);
+  h.Mix(database.num_relations);
+  h.Mix(database.partitions_per_relation);
+  h.Mix(database.pages_per_file);
+  h.Mix(placement.degree);
+  h.Mix(workload.num_terminals);
+  h.Mix(workload.think_time_sec);
+  // Later-added optional knobs are mixed only when they deviate from their
+  // defaults, so fingerprints of existing configurations stay stable across
+  // releases (the bench result cache keys on them).
+  if (workload.fake_restarts) h.Mix(workload.fake_restarts);
+  if (algorithm == CcAlgorithm::kTwoPhaseLockingTimeout)
+    h.Mix(locking.timeout_sec);
+  h.Mix(static_cast<int>(workload.classes.size()));
+  for (const auto& c : workload.classes) {
+    h.Mix(c.fraction);
+    h.Mix(static_cast<int>(c.exec_pattern));
+    h.Mix(static_cast<int>(c.relation_choice));
+    h.Mix(c.pages_per_partition_avg);
+    h.Mix(c.write_prob);
+    h.Mix(c.inst_per_page);
+    h.Mix(static_cast<int>(c.spread));
+  }
+  h.Mix(costs.inst_per_update);
+  h.Mix(costs.inst_per_startup);
+  h.Mix(costs.inst_per_msg);
+  h.Mix(costs.inst_per_cc_req);
+  h.Mix(costs.deadlock_interval_sec);
+  h.Mix(locking.queue_jump);
+  h.Mix(run.warmup_sec);
+  h.Mix(run.measure_sec);
+  h.Mix(run.seed);
+  h.Mix(run.initial_rt_estimate_sec);
+  h.Mix(static_cast<int>(algorithm));
+  return h.digest();
+}
+
+SystemConfig PaperBaseConfig() {
+  SystemConfig cfg;  // defaults in the struct definitions are Table 4 values
+  return cfg;
+}
+
+const char* ToString(CcAlgorithm a) {
+  switch (a) {
+    case CcAlgorithm::kNoDc: return "NO_DC";
+    case CcAlgorithm::kTwoPhaseLocking: return "2PL";
+    case CcAlgorithm::kWoundWait: return "WW";
+    case CcAlgorithm::kBasicTimestamp: return "BTO";
+    case CcAlgorithm::kOptimistic: return "OPT";
+    case CcAlgorithm::kTwoPhaseLockingDeferred: return "2PL-DW";
+    case CcAlgorithm::kWaitDie: return "WD";
+    case CcAlgorithm::kTwoPhaseLockingTimeout: return "2PL-TO";
+  }
+  return "?";
+}
+
+const char* ToString(ExecPattern p) {
+  switch (p) {
+    case ExecPattern::kSequential: return "sequential";
+    case ExecPattern::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+}  // namespace ccsim::config

@@ -1,0 +1,184 @@
+#ifndef CCSIM_CONFIG_PARAMS_H_
+#define CCSIM_CONFIG_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccsim::config {
+
+/// The concurrency control algorithms studied in the paper (Sec 2), plus the
+/// NO_DC ideal ("2PL with an infinitely large database": every request is
+/// granted, nothing ever aborts).
+enum class CcAlgorithm {
+  kNoDc,
+  kTwoPhaseLocking,   // 2PL  [Gray79] + rotating "Snoop" global detection
+  kWoundWait,         // WW   [Rose78]
+  kBasicTimestamp,    // BTO  [Bern80]
+  kOptimistic,        // OPT  [Sinh85], distributed certification
+  /// Extension (not in the paper's figure set): 2PL with deferred write
+  /// locks, after the remark in the paper's conclusions [Care89] - write
+  /// accesses take shared locks during execution and upgrade to exclusive
+  /// in the first phase of the commit protocol, shortening exclusive hold
+  /// times at the cost of certification-like late aborts (via deadlocks).
+  kTwoPhaseLockingDeferred,
+  /// Extension: wait-die locking, the sibling scheme of wound-wait in
+  /// [Rose78] - a requester that would wait for an *older* transaction
+  /// aborts itself instead ("dies"); older requesters wait. No deadlocks,
+  /// cheap self-aborts at request time.
+  kWaitDie,
+  /// Extension: 2PL with timeout-based deadlock handling (footnote 2 /
+  /// [Jenq89]): no detection at all; a request that waits longer than
+  /// LockingParams::timeout_sec aborts its transaction.
+  kTwoPhaseLockingTimeout,
+};
+
+/// Cohort execution pattern of a transaction class (Sec 3.3).
+enum class ExecPattern {
+  kSequential,  // cohorts one after another (remote-procedure-call style)
+  kParallel,    // cohorts started together (database machine style)
+};
+
+/// How the per-partition page count is spread around its mean. Section 3.2 of
+/// the paper says "between half and twice the average" while footnote 12 says
+/// 4..12 pages for an average of 8 (and derives the observed 64/12 = 5.33
+/// speedup limit); the footnote reading is the default.
+enum class PageCountSpread {
+  kSymmetric,    // uniform integer in [avg/2, 3*avg/2]  (footnote 12)
+  kHalfToTwice,  // uniform integer in [avg/2, 2*avg]    (Sec 3.2 text)
+};
+
+/// How a transaction picks the relation it accesses.
+enum class RelationChoice {
+  kByTerminalGroup,  // terminals divided into groups of equal size, group g
+                     // always accesses relation g (the paper's workload)
+  kUniform,          // uniformly random relation per transaction
+};
+
+/// Machine configuration (Tables 1 and 3).
+struct MachineParams {
+  int num_proc_nodes = 8;    // NumProcNodes (1 host node is implicit)
+  double host_mips = 10.0;   // CPURate of the host node
+  double node_mips = 1.0;    // CPURate of each processing node
+  int disks_per_node = 2;    // NumDisks per processing node
+  double min_disk_ms = 10.0;  // MinDiskTime
+  double max_disk_ms = 30.0;  // MaxDiskTime
+};
+
+/// Database shape (Table 1). Placement is configured separately.
+struct DatabaseParams {
+  int num_relations = 8;
+  int partitions_per_relation = 8;  // files per relation
+  int pages_per_file = 300;         // FileSize (300 small / 1200 large)
+
+  int num_files() const { return num_relations * partitions_per_relation; }
+  std::int64_t total_pages() const {
+    return static_cast<std::int64_t>(num_files()) * pages_per_file;
+  }
+};
+
+/// Degree of horizontal partitioning (declustering): each relation's
+/// partitions are spread over `degree` processing nodes, offset by relation
+/// index so load stays balanced (Secs 4.2-4.4). `degree` must divide
+/// `partitions_per_relation` and `num_proc_nodes`.
+struct PlacementParams {
+  int degree = 8;
+};
+
+/// One transaction class (Table 2 per-class parameters).
+struct TransactionClassParams {
+  double fraction = 1.0;  // ClassFrac: fraction of terminals in this class
+  ExecPattern exec_pattern = ExecPattern::kParallel;
+  RelationChoice relation_choice = RelationChoice::kByTerminalGroup;
+  double pages_per_partition_avg = 8.0;  // NumPages per accessed file
+  double write_prob = 0.25;              // WriteProb per accessed page
+  double inst_per_page = 8000.0;         // InstPerPage (mean, exponential)
+  PageCountSpread spread = PageCountSpread::kSymmetric;
+};
+
+/// Workload shape of the host node (Table 2).
+struct WorkloadParams {
+  int num_terminals = 128;       // NumTerminals
+  double think_time_sec = 8.0;   // ThinkTime (mean, exponential)
+  std::vector<TransactionClassParams> classes = {TransactionClassParams{}};
+  /// Restart semantics. false (default): a restarted transaction re-runs
+  /// with the same access set (it is the same transaction). true: "fake
+  /// restarts" in the sense of [Agra87a] - the restart draws a fresh access
+  /// set from the same class and relation, decorrelating repeated conflicts
+  /// between the same transaction pairs.
+  bool fake_restarts = false;
+};
+
+/// Options of the lock-based managers (2PL, WW). `queue_jump` selects the
+/// lock queue policy: false = strict FIFO (a request never overtakes an
+/// occupied queue; no writer starvation); true = requests compatible with
+/// the current holders are granted immediately (fewer waits and deadlocks,
+/// readers can starve writers). The paper does not pin this detail; strict
+/// FIFO is the default.
+struct LockingParams {
+  bool queue_jump = false;
+  /// Wait timeout for CcAlgorithm::kTwoPhaseLockingTimeout. [Jenq89] (and
+  /// the paper's footnote 2) found this a critical, sensitive parameter;
+  /// bench/ablation_lock_timeout sweeps it.
+  double timeout_sec = 1.0;
+};
+
+/// CPU overhead parameters (Tables 3 and the CC manager parameter).
+struct CostParams {
+  double inst_per_update = 2000.0;   // InstPerUpdate: initiate one disk write
+  double inst_per_startup = 2000.0;  // InstPerStartup: start a process
+  double inst_per_msg = 1000.0;      // InstPerMsg: send or receive a message
+  double inst_per_cc_req = 0.0;      // InstPerCCReq: one CC request
+  double deadlock_interval_sec = 1.0;  // DetectionInterval (2PL Snoop)
+};
+
+/// Run control: warmup deletion and measurement window.
+struct RunParams {
+  double warmup_sec = 300.0;
+  double measure_sec = 1500.0;
+  std::uint64_t seed = 42;
+  /// Restart delay prior used before the first commit has been observed
+  /// (after that, the running mean response time is used, as in the paper).
+  double initial_rt_estimate_sec = 1.0;
+  /// Record read/write sets and run the serializability audit (testing).
+  bool enable_audit = false;
+  /// Batch size for response-time batch-means confidence intervals.
+  std::uint64_t rt_batch_size = 200;
+};
+
+/// Complete configuration of one simulation run.
+struct SystemConfig {
+  MachineParams machine;
+  DatabaseParams database;
+  PlacementParams placement;
+  WorkloadParams workload;
+  CostParams costs;
+  LockingParams locking;
+  RunParams run;
+  CcAlgorithm algorithm = CcAlgorithm::kTwoPhaseLocking;
+
+  /// Returns an empty string if the configuration is consistent, else a
+  /// human-readable description of the first problem found.
+  std::string Validate() const;
+
+  /// Stable content hash (used as the bench result-cache key).
+  std::uint64_t Fingerprint() const;
+};
+
+/// The paper's Table 4 settings: 8 relations x 8 partitions, 128 terminals,
+/// 8 pages/partition, write prob 1/4, 8K instructions/page, 10 MIPS host,
+/// 1 MIPS nodes, 2 disks/node at 10-30 ms, 2K/2K/1K/0 cost instructions,
+/// 1 s detection interval.
+SystemConfig PaperBaseConfig();
+
+const char* ToString(CcAlgorithm a);
+const char* ToString(ExecPattern p);
+
+/// All five algorithms in the paper's presentation order.
+inline constexpr CcAlgorithm kAllAlgorithms[] = {
+    CcAlgorithm::kTwoPhaseLocking, CcAlgorithm::kBasicTimestamp,
+    CcAlgorithm::kWoundWait, CcAlgorithm::kOptimistic, CcAlgorithm::kNoDc};
+
+}  // namespace ccsim::config
+
+#endif  // CCSIM_CONFIG_PARAMS_H_

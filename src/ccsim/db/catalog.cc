@@ -1,0 +1,45 @@
+#include "ccsim/db/catalog.h"
+
+#include <utility>
+
+#include "ccsim/db/placement.h"
+#include "ccsim/sim/check.h"
+
+namespace ccsim::db {
+
+Catalog::Catalog(const config::DatabaseParams& db,
+                 std::vector<NodeId> file_to_node)
+    : db_(db), file_to_node_(std::move(file_to_node)) {
+  CCSIM_CHECK(static_cast<int>(file_to_node_.size()) == db_.num_files());
+}
+
+NodeId Catalog::NodeOfFile(FileId f) const {
+  CCSIM_CHECK(f >= 0 && f < num_files());
+  return file_to_node_[static_cast<std::size_t>(f)];
+}
+
+int Catalog::RelationOfFile(FileId f) const {
+  CCSIM_CHECK(f >= 0 && f < num_files());
+  return f / db_.partitions_per_relation;
+}
+
+FileId Catalog::FileOf(int relation, int partition) const {
+  CCSIM_CHECK(relation >= 0 && relation < db_.num_relations);
+  CCSIM_CHECK(partition >= 0 && partition < db_.partitions_per_relation);
+  return relation * db_.partitions_per_relation + partition;
+}
+
+std::vector<FileId> Catalog::FilesOfRelation(int r) const {
+  CCSIM_CHECK(r >= 0 && r < db_.num_relations);
+  std::vector<FileId> files;
+  files.reserve(static_cast<std::size_t>(db_.partitions_per_relation));
+  for (int j = 0; j < db_.partitions_per_relation; ++j)
+    files.push_back(FileOf(r, j));
+  return files;
+}
+
+std::vector<NodeId> Catalog::NodesOfRelation(int r) const {
+  return db::NodesOfRelation(file_to_node_, db_, r);
+}
+
+}  // namespace ccsim::db

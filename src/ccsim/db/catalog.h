@@ -1,0 +1,44 @@
+#ifndef CCSIM_DB_CATALOG_H_
+#define CCSIM_DB_CATALOG_H_
+
+#include <vector>
+
+#include "ccsim/common/types.h"
+#include "ccsim/config/params.h"
+
+namespace ccsim::db {
+
+/// The database catalog: the set of files (relation partitions), their sizes
+/// in pages, and the FileLocations mapping of files to processing nodes
+/// (Table 1). Immutable once built.
+class Catalog {
+ public:
+  Catalog(const config::DatabaseParams& db, std::vector<NodeId> file_to_node);
+
+  int num_relations() const { return db_.num_relations; }
+  int partitions_per_relation() const { return db_.partitions_per_relation; }
+  int num_files() const { return db_.num_files(); }
+  int pages_per_file() const { return db_.pages_per_file; }
+
+  NodeId NodeOfFile(FileId f) const;
+  NodeId NodeOfPage(const PageRef& p) const { return NodeOfFile(p.file); }
+
+  int RelationOfFile(FileId f) const;
+  FileId FileOf(int relation, int partition) const;
+
+  /// All files of a relation, in partition order.
+  std::vector<FileId> FilesOfRelation(int r) const;
+
+  /// Distinct nodes holding relation `r`'s partitions, ascending.
+  std::vector<NodeId> NodesOfRelation(int r) const;
+
+  const std::vector<NodeId>& file_to_node() const { return file_to_node_; }
+
+ private:
+  config::DatabaseParams db_;
+  std::vector<NodeId> file_to_node_;
+};
+
+}  // namespace ccsim::db
+
+#endif  // CCSIM_DB_CATALOG_H_

@@ -1,0 +1,46 @@
+#include "ccsim/db/placement.h"
+
+#include <algorithm>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::db {
+
+std::vector<NodeId> ComputePlacement(const config::DatabaseParams& db,
+                                     int num_proc_nodes, int degree) {
+  CCSIM_CHECK(degree >= 1 && degree <= num_proc_nodes);
+  CCSIM_CHECK(db.partitions_per_relation % degree == 0);
+  CCSIM_CHECK(num_proc_nodes % degree == 0);
+
+  int parts = db.partitions_per_relation;
+  int block = parts / degree;            // partitions per hosting node
+  int stride = num_proc_nodes / degree;  // node stride between blocks
+
+  std::vector<NodeId> file_to_node(
+      static_cast<std::size_t>(db.num_files()));
+  for (int r = 0; r < db.num_relations; ++r) {
+    for (int j = 0; j < parts; ++j) {
+      FileId f = r * parts + j;
+      int k = j / block;  // which hosting node of this relation
+      int proc = (r + k * stride) % num_proc_nodes;
+      file_to_node[static_cast<std::size_t>(f)] = proc + 1;  // 1-based
+    }
+  }
+  return file_to_node;
+}
+
+std::vector<NodeId> NodesOfRelation(const std::vector<NodeId>& file_to_node,
+                                    const config::DatabaseParams& db, int r) {
+  CCSIM_CHECK(r >= 0 && r < db.num_relations);
+  std::vector<NodeId> nodes;
+  int parts = db.partitions_per_relation;
+  for (int j = 0; j < parts; ++j) {
+    NodeId n = file_to_node[static_cast<std::size_t>(r * parts + j)];
+    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end())
+      nodes.push_back(n);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+}  // namespace ccsim::db

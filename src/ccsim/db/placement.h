@@ -1,0 +1,32 @@
+#ifndef CCSIM_DB_PLACEMENT_H_
+#define CCSIM_DB_PLACEMENT_H_
+
+#include <vector>
+
+#include "ccsim/common/types.h"
+#include "ccsim/config/params.h"
+
+namespace ccsim::db {
+
+/// Computes the paper's declustered placement (Secs 4.2-4.4).
+///
+/// Relation `r`'s partitions are spread over `degree` processing nodes,
+/// starting at node `(r mod num_proc_nodes)` and striding by
+/// `num_proc_nodes / degree` so that every node hosts the same number of
+/// partition groups. Partitions are assigned to those nodes in contiguous
+/// blocks of `partitions_per_relation / degree`:
+///   degree=1: all partitions of R_r at node S_r                 (1-way)
+///   degree=4 on 8 nodes: R_r at S_r, S_r+2, S_r+4, S_r+6        (4-way)
+///   degree=8 on 8 nodes: partition j of R_r at S_(r+j mod 8)    (8-way)
+/// Returned vector maps FileId -> NodeId (processing nodes are 1-based:
+/// node ids 1..num_proc_nodes; the host is node 0 and holds no data).
+std::vector<NodeId> ComputePlacement(const config::DatabaseParams& db,
+                                     int num_proc_nodes, int degree);
+
+/// Nodes that hold at least one partition of relation `r` (ascending order).
+std::vector<NodeId> NodesOfRelation(const std::vector<NodeId>& file_to_node,
+                                    const config::DatabaseParams& db, int r);
+
+}  // namespace ccsim::db
+
+#endif  // CCSIM_DB_PLACEMENT_H_

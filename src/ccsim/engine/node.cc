@@ -1,0 +1,30 @@
+#include "ccsim/engine/node.h"
+
+#include "ccsim/sim/time.h"
+
+namespace ccsim::engine {
+
+namespace {
+// RandomStream id space for per-node resources (disk pick + disks).
+constexpr std::uint64_t kNodeStreamBase = 1000;
+constexpr std::uint64_t kNodeStreamStride = 64;
+}  // namespace
+
+Node MakeNode(sim::Simulation* sim, const config::SystemConfig& config,
+              NodeId id) {
+  Node node;
+  node.id = id;
+  node.is_host = (id == kHostNode);
+  double mips =
+      node.is_host ? config.machine.host_mips : config.machine.node_mips;
+  // The host holds no data in this model, so it gets no disks; any attempt
+  // to do I/O there trips a check in ResourceManager.
+  int disks = node.is_host ? 0 : config.machine.disks_per_node;
+  node.resources = std::make_unique<resource::ResourceManager>(
+      sim, mips, disks, sim::FromMillis(config.machine.min_disk_ms),
+      sim::FromMillis(config.machine.max_disk_ms), config.run.seed,
+      kNodeStreamBase + static_cast<std::uint64_t>(id) * kNodeStreamStride);
+  return node;
+}
+
+}  // namespace ccsim::engine

@@ -1,0 +1,31 @@
+#ifndef CCSIM_ENGINE_NODE_H_
+#define CCSIM_ENGINE_NODE_H_
+
+#include <memory>
+
+#include "ccsim/cc/cc_manager.h"
+#include "ccsim/common/types.h"
+#include "ccsim/config/params.h"
+#include "ccsim/resource/resource_manager.h"
+#include "ccsim/sim/simulation.h"
+
+namespace ccsim::engine {
+
+/// One machine node: the host (id 0, fast CPU, terminals, coordinators, no
+/// data and hence no disks in the model) or a processing node (1 MIPS CPU,
+/// NumDisks disks, data, cohorts, a CC manager).
+struct Node {
+  NodeId id = 0;
+  bool is_host = false;
+  std::unique_ptr<resource::ResourceManager> resources;
+  std::unique_ptr<cc::CcManager> cc;
+};
+
+/// Builds a node's resource manager per the machine parameters. The CC
+/// manager is attached separately (it needs the CcContext, i.e. the System).
+Node MakeNode(sim::Simulation* sim, const config::SystemConfig& config,
+              NodeId id);
+
+}  // namespace ccsim::engine
+
+#endif  // CCSIM_ENGINE_NODE_H_

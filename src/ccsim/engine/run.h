@@ -1,0 +1,65 @@
+#ifndef CCSIM_ENGINE_RUN_H_
+#define CCSIM_ENGINE_RUN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ccsim/config/params.h"
+
+namespace ccsim::engine {
+
+/// Steady-state metrics of one simulation run, gathered over the measurement
+/// window (after warmup deletion). The paper's four main metrics (Sec 4.1)
+/// are response time, throughput, and the speedups derived from them by the
+/// experiment harness; the auxiliary metrics (utilizations, abort ratio,
+/// blocking time) are here too.
+struct RunResult {
+  // Primary metrics.
+  double throughput = 0.0;          // committed transactions per second
+  double mean_response_time = 0.0;  // origin to successful completion, sec
+  double rt_ci_half_width = 0.0;    // 95% batch-means CI half width
+  double max_response_time = 0.0;
+  double rt_p50 = 0.0;  // response-time percentiles (histogram estimates)
+  double rt_p90 = 0.0;
+  double rt_p99 = 0.0;
+
+  // Auxiliary metrics.
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;   // aborted attempts
+  double abort_ratio = 0.0;   // aborts per commit (Sec 4.1)
+  // Abort breakdown by cause (same window as `aborts`).
+  std::uint64_t aborts_local_deadlock = 0;
+  std::uint64_t aborts_global_deadlock = 0;
+  std::uint64_t aborts_wound = 0;
+  std::uint64_t aborts_timestamp = 0;
+  std::uint64_t aborts_certification = 0;
+  std::uint64_t aborts_die = 0;      // wait-die
+  std::uint64_t aborts_timeout = 0;  // timeout-based blocking
+  double host_cpu_util = 0.0;
+  double proc_cpu_util = 0.0;  // mean over processing nodes
+  double disk_util = 0.0;      // mean over processing-node disks
+  double mean_blocking_time = 0.0;  // lock/queue waits (2PL, WW, BTO reads)
+  std::uint64_t blocked_waits = 0;
+  double messages_per_commit = 0.0;
+
+  // Run accounting.
+  std::uint64_t transactions_submitted = 0;
+  std::uint64_t live_at_end = 0;
+  std::uint64_t events = 0;
+  double sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  // Audit (only when RunParams::enable_audit).
+  bool audited = false;
+  bool serializable = true;
+  std::string audit_note;
+};
+
+/// Validates `config`, builds a System, runs warmup + measurement, and
+/// extracts the metrics. Aborts the process on an invalid configuration
+/// (use SystemConfig::Validate() first for recoverable handling).
+RunResult RunSimulation(const config::SystemConfig& config);
+
+}  // namespace ccsim::engine
+
+#endif  // CCSIM_ENGINE_RUN_H_

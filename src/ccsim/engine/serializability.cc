@@ -1,0 +1,103 @@
+#include "ccsim/engine/serializability.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ccsim::engine {
+
+std::string SerializabilityResult::Describe() const {
+  if (serializable) return "serializable";
+  std::ostringstream out;
+  out << "NOT serializable; cycle:";
+  for (TxnId id : cycle) out << " " << id;
+  return out.str();
+}
+
+SerializabilityResult CheckSerializability(
+    const std::vector<CommittedTxn>& log) {
+  // Per page: version -> writer, and version -> readers.
+  struct PageHistory {
+    std::map<std::uint64_t, TxnId> writers;                 // version -> txn
+    std::map<std::uint64_t, std::vector<TxnId>> readers;    // version -> txns
+  };
+  std::unordered_map<std::uint64_t, PageHistory> pages;
+  std::unordered_set<TxnId> committed;
+
+  for (const CommittedTxn& t : log) {
+    committed.insert(t.id);
+    for (const txn::AuditRecord& op : t.ops) {
+      auto& hist = pages[op.page.Key()];
+      if (op.is_write) {
+        if (op.installed) hist.writers[op.version] = t.id;
+      } else {
+        hist.readers[op.version].push_back(t.id);
+      }
+    }
+  }
+
+  // Precedence edges.
+  std::unordered_map<TxnId, std::vector<TxnId>> adj;
+  std::unordered_map<TxnId, int> indeg;
+  for (TxnId id : committed) {
+    adj.try_emplace(id);
+    indeg.try_emplace(id, 0);
+  }
+  auto add_edge = [&](TxnId a, TxnId b) {
+    if (a == b) return;
+    if (!committed.count(a) || !committed.count(b)) return;
+    adj[a].push_back(b);
+    ++indeg[b];
+  };
+
+  for (auto& [key, hist] : pages) {
+    // ww edges between successive installed versions.
+    TxnId prev_writer = 0;
+    bool have_prev = false;
+    for (auto& [version, writer] : hist.writers) {
+      if (have_prev) add_edge(prev_writer, writer);
+      prev_writer = writer;
+      have_prev = true;
+    }
+    // wr and rw edges.
+    for (auto& [version, readers] : hist.readers) {
+      auto wit = hist.writers.find(version);
+      if (wit != hist.writers.end()) {
+        for (TxnId r : readers) add_edge(wit->second, r);
+      }
+      auto next = hist.writers.upper_bound(version);
+      if (next != hist.writers.end()) {
+        for (TxnId r : readers) add_edge(r, next->second);
+      }
+    }
+  }
+
+  // Kahn's algorithm; leftovers form (or feed) a cycle.
+  std::vector<TxnId> queue;
+  for (auto& [id, d] : indeg) {
+    if (d == 0) queue.push_back(id);
+  }
+  std::size_t processed = 0;
+  while (!queue.empty()) {
+    TxnId id = queue.back();
+    queue.pop_back();
+    ++processed;
+    for (TxnId next : adj[id]) {
+      if (--indeg[next] == 0) queue.push_back(next);
+    }
+  }
+
+  SerializabilityResult result;
+  if (processed == committed.size()) return result;
+
+  result.serializable = false;
+  for (auto& [id, d] : indeg) {
+    if (d > 0) result.cycle.push_back(id);
+  }
+  std::sort(result.cycle.begin(), result.cycle.end());
+  return result;
+}
+
+}  // namespace ccsim::engine

@@ -1,0 +1,42 @@
+#ifndef CCSIM_ENGINE_SERIALIZABILITY_H_
+#define CCSIM_ENGINE_SERIALIZABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ccsim/common/types.h"
+#include "ccsim/txn/transaction.h"
+
+namespace ccsim::engine {
+
+/// One committed transaction's audited operations (versions read and versions
+/// installed against the engine's shadow version store).
+struct CommittedTxn {
+  TxnId id = 0;
+  double commit_time = 0.0;
+  std::vector<txn::AuditRecord> ops;
+};
+
+/// Result of the serializability audit.
+struct SerializabilityResult {
+  bool serializable = true;
+  /// A cycle witness (transaction ids) when not serializable.
+  std::vector<TxnId> cycle;
+  std::string Describe() const;
+};
+
+/// Checks that the committed transactions form a (view-)serializable history
+/// using the recorded version order:
+///   * writer of version v precedes the writer of version v+1 (ww),
+///   * writer of version v precedes every reader of v (wr),
+///   * every reader of v precedes the writer of v+1 (rw).
+/// Thomas-write-rule skipped writes (installed == false) never became
+/// visible and add no constraints. The history is serializable iff the
+/// resulting precedence graph is acyclic.
+SerializabilityResult CheckSerializability(
+    const std::vector<CommittedTxn>& log);
+
+}  // namespace ccsim::engine
+
+#endif  // CCSIM_ENGINE_SERIALIZABILITY_H_

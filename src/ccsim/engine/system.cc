@@ -1,0 +1,258 @@
+#include "ccsim/engine/system.h"
+
+#include <chrono>
+#include <utility>
+
+#include "ccsim/cc/cc_factory.h"
+#include "ccsim/cc/two_phase_locking.h"
+#include "ccsim/db/placement.h"
+#include "ccsim/sim/check.h"
+#include "ccsim/txn/services.h"
+
+namespace ccsim::engine {
+
+namespace {
+// RandomStream id space for per-node model variates (instruction counts).
+constexpr std::uint64_t kNodeVariateStreamBase = 5000;
+}  // namespace
+
+System::System(const config::SystemConfig& config)
+    : config_(config),
+      catalog_(config.database,
+               db::ComputePlacement(config.database,
+                                    config.machine.num_proc_nodes,
+                                    config.placement.degree)),
+      rt_batches_(config.run.rt_batch_size),
+      // Response times from sub-millisecond to 1000 s, 1 ms bins below 10 s
+      // would be wasteful: use 10000 bins of 100 ms over [0, 1000 s).
+      rt_histogram_(0.0, 1000.0, 10000) {
+  std::string error = config_.Validate();
+  CCSIM_CHECK_MSG(error.empty(), error.c_str());
+
+  int total_nodes = config_.machine.num_proc_nodes + 1;
+  nodes_.reserve(static_cast<std::size_t>(total_nodes));
+  std::vector<resource::Cpu*> cpus;
+  for (NodeId id = 0; id < total_nodes; ++id) {
+    nodes_.push_back(MakeNode(&sim_, config_, id));
+    nodes_.back().cc = cc::CreateCcManager(config_.algorithm, this, id);
+    cpus.push_back(&nodes_.back().resources->cpu());
+    node_rngs_.push_back(std::make_unique<sim::RandomStream>(
+        config_.run.seed,
+        kNodeVariateStreamBase + static_cast<std::uint64_t>(id)));
+  }
+  network_ = std::make_unique<net::Network>(&sim_, std::move(cpus),
+                                            config_.costs.inst_per_msg);
+
+  txn::Services services;
+  services.sim = &sim_;
+  services.network = network_.get();
+  services.config = &config_;
+  services.cc_at = [this](NodeId id) { return cc_at(id); };
+  services.cpu_at = [this](NodeId id) {
+    return &nodes_[static_cast<std::size_t>(id)].resources->cpu();
+  };
+  services.disk_access = [this](NodeId id, resource::DiskOp op) {
+    return nodes_[static_cast<std::size_t>(id)].resources->DiskAccess(op);
+  };
+  services.node_rng = [this](NodeId id) {
+    return node_rngs_[static_cast<std::size_t>(id)].get();
+  };
+  services.on_commit = [this](txn::Transaction& t) {
+    double rt = sim_.Now() - t.origin_time();
+    rt_alltime_.Record(rt);
+    rt_measured_.Record(rt);
+    rt_batches_.Record(rt);
+    rt_histogram_.Record(rt);
+    ++commits_measured_;
+    if (config_.run.enable_audit) {
+      commit_log_.push_back(CommittedTxn{t.id(), sim_.Now(), t.audit});
+    }
+  };
+  services.on_abort = [this](txn::Transaction& t, txn::AbortReason reason) {
+    (void)t;
+    ++aborts_measured_;
+    ++aborts_by_reason_measured_[static_cast<std::size_t>(reason)];
+  };
+  services.restart_delay = [this] { return RestartDelay(); };
+  if (config_.workload.fake_restarts) {
+    services.regenerate_spec =
+        [this](const workload::TransactionSpec& old_spec) {
+          return source_->generator().Generate(old_spec.terminal,
+                                               *restart_rng_);
+        };
+    restart_rng_ = std::make_unique<sim::RandomStream>(config_.run.seed,
+                                                       /*stream_id=*/777);
+  }
+
+  cohort_service_ = std::make_unique<txn::CohortService>(services);
+  coordinator_ = std::make_unique<txn::CoordinatorService>(
+      services, cohort_service_.get());
+
+  source_ = std::make_unique<workload::Source>(
+      &sim_, &config_, &catalog_, [this](workload::TransactionSpec spec) {
+        return coordinator_->Submit(std::move(spec));
+      });
+
+  if (config_.algorithm == config::CcAlgorithm::kTwoPhaseLocking ||
+      config_.algorithm == config::CcAlgorithm::kTwoPhaseLockingDeferred) {
+    std::vector<cc::TwoPhaseLockingManager*> managers;
+    for (NodeId id = 1; id < total_nodes; ++id) {
+      managers.push_back(
+          static_cast<cc::TwoPhaseLockingManager*>(cc_at(id)));
+    }
+    snoop_ = std::make_unique<cc::Snoop>(this, network_.get(),
+                                         std::move(managers),
+                                         config_.costs.deadlock_interval_sec);
+  }
+}
+
+double System::RestartDelay() const {
+  return rt_alltime_.count() > 0 ? rt_alltime_.mean()
+                                 : config_.run.initial_rt_estimate_sec;
+}
+
+void System::RequestAbort(const txn::TxnPtr& txn, int attempt,
+                          NodeId from_node, txn::AbortReason reason) {
+  network_->Send(from_node, kHostNode, net::MsgTag::kAbortRequest,
+                 [this, txn, attempt, reason] {
+                   coordinator_->OnAbortRequest(txn, attempt, reason);
+                 });
+}
+
+void System::AuditRead(txn::Transaction& t, const PageRef& page) {
+  if (!config_.run.enable_audit) return;
+  auto it = shadow_.find(page.Key());
+  std::uint64_t version = it != shadow_.end() ? it->second.version : 0;
+  t.audit.push_back(txn::AuditRecord{page, version, false, true});
+}
+
+void System::AuditInstallWrite(txn::Transaction& t, const PageRef& page) {
+  if (!config_.run.enable_audit) return;
+  ShadowEntry& entry = shadow_[page.Key()];
+  ++entry.version;
+  entry.writer = t.id();
+  t.audit.push_back(txn::AuditRecord{page, entry.version, true, true});
+}
+
+void System::AuditSkippedWrite(txn::Transaction& t, const PageRef& page) {
+  if (!config_.run.enable_audit) return;
+  t.audit.push_back(txn::AuditRecord{page, 0, true, false});
+}
+
+void System::Start() {
+  CCSIM_CHECK_MSG(!started_, "System started twice");
+  started_ = true;
+  source_->Start();
+  if (snoop_) snoop_->Start();
+}
+
+void System::ResetStatsAtWarmup() {
+  rt_measured_.Reset();
+  rt_batches_.Reset();
+  rt_histogram_.Reset();
+  commits_measured_ = 0;
+  aborts_measured_ = 0;
+  aborts_by_reason_measured_.fill(0);
+  messages_at_reset_ = network_->messages_sent();
+  for (auto& node : nodes_) {
+    node.resources->ResetStats();
+    node.cc->ResetStats();
+  }
+}
+
+RunResult System::ExtractResult(double measured_seconds, double wall_seconds) {
+  RunResult r;
+  r.commits = commits_measured_;
+  r.aborts = aborts_measured_;
+  r.throughput = measured_seconds > 0
+                     ? static_cast<double>(commits_measured_) / measured_seconds
+                     : 0.0;
+  r.mean_response_time = rt_measured_.mean();
+  r.max_response_time = rt_measured_.max();
+  r.rt_ci_half_width = rt_batches_.half_width_95();
+  r.rt_p50 = rt_histogram_.Quantile(0.50);
+  r.rt_p90 = rt_histogram_.Quantile(0.90);
+  r.rt_p99 = rt_histogram_.Quantile(0.99);
+  r.abort_ratio = commits_measured_ > 0
+                      ? static_cast<double>(aborts_measured_) /
+                            static_cast<double>(commits_measured_)
+                      : 0.0;
+  using AR = txn::AbortReason;
+  r.aborts_local_deadlock =
+      aborts_by_reason_measured_[static_cast<std::size_t>(AR::kLocalDeadlock)];
+  r.aborts_global_deadlock =
+      aborts_by_reason_measured_[static_cast<std::size_t>(AR::kGlobalDeadlock)];
+  r.aborts_wound =
+      aborts_by_reason_measured_[static_cast<std::size_t>(AR::kWound)];
+  r.aborts_timestamp =
+      aborts_by_reason_measured_[static_cast<std::size_t>(AR::kTimestampOrder)];
+  r.aborts_certification =
+      aborts_by_reason_measured_[static_cast<std::size_t>(AR::kCertification)];
+  r.aborts_die = aborts_by_reason_measured_[static_cast<std::size_t>(AR::kDie)];
+  r.aborts_timeout =
+      aborts_by_reason_measured_[static_cast<std::size_t>(AR::kTimeout)];
+  r.host_cpu_util = nodes_[0].resources->cpu().Utilization();
+  double cpu_sum = 0.0, disk_sum = 0.0;
+  int proc_nodes = config_.machine.num_proc_nodes;
+  for (NodeId id = 1; id <= proc_nodes; ++id) {
+    cpu_sum += resources(id).cpu().Utilization();
+    disk_sum += resources(id).MeanDiskUtilization();
+  }
+  r.proc_cpu_util = cpu_sum / proc_nodes;
+  r.disk_util = disk_sum / proc_nodes;
+
+  double block_sum = 0.0;
+  std::uint64_t block_count = 0;
+  for (NodeId id = 1; id <= proc_nodes; ++id) {
+    const stats::Tally* waits = cc_at(id)->blocking_times();
+    if (waits != nullptr) {
+      block_sum += waits->sum();
+      block_count += waits->count();
+    }
+  }
+  r.blocked_waits = block_count;
+  r.mean_blocking_time =
+      block_count > 0 ? block_sum / static_cast<double>(block_count) : 0.0;
+  r.messages_per_commit =
+      commits_measured_ > 0
+          ? static_cast<double>(network_->messages_sent() - messages_at_reset_) /
+                static_cast<double>(commits_measured_)
+          : 0.0;
+  r.transactions_submitted = source_->transactions_submitted();
+  r.live_at_end = coordinator_->live_transactions();
+  r.events = sim_.events_fired();
+  r.sim_seconds = sim_.Now();
+  r.wall_seconds = wall_seconds;
+
+  if (config_.run.enable_audit &&
+      config_.algorithm != config::CcAlgorithm::kNoDc) {
+    r.audited = true;
+    auto audit = CheckSerializability(commit_log_);
+    r.serializable = audit.serializable;
+    r.audit_note = audit.Describe();
+  }
+  return r;
+}
+
+RunResult System::Run() {
+  auto wall_start = std::chrono::steady_clock::now();
+  if (!started_) Start();
+  double warmup = config_.run.warmup_sec;
+  double measure = config_.run.measure_sec;
+  if (warmup > 0) {
+    sim_.At(warmup, [this] { ResetStatsAtWarmup(); });
+  }
+  sim_.RunUntil(warmup + measure);
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return ExtractResult(measure, wall_seconds);
+}
+
+RunResult RunSimulation(const config::SystemConfig& config) {
+  System system(config);
+  return system.Run();
+}
+
+}  // namespace ccsim::engine

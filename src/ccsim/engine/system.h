@@ -1,0 +1,113 @@
+#ifndef CCSIM_ENGINE_SYSTEM_H_
+#define CCSIM_ENGINE_SYSTEM_H_
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ccsim/cc/cc_manager.h"
+#include "ccsim/cc/snoop.h"
+#include "ccsim/config/params.h"
+#include "ccsim/db/catalog.h"
+#include "ccsim/engine/node.h"
+#include "ccsim/engine/run.h"
+#include "ccsim/engine/serializability.h"
+#include "ccsim/net/network.h"
+#include "ccsim/sim/random.h"
+#include "ccsim/sim/simulation.h"
+#include "ccsim/stats/batch_means.h"
+#include "ccsim/stats/histogram.h"
+#include "ccsim/stats/tally.h"
+#include "ccsim/txn/coordinator.h"
+#include "ccsim/txn/cohort.h"
+#include "ccsim/workload/source.h"
+
+namespace ccsim::engine {
+
+/// The assembled database machine: one host node plus NumProcNodes
+/// processing nodes, the network, the per-node CC managers, the transaction
+/// management layer, the workload source, and the metrics plumbing
+/// (Fig. 1 of the paper). Also implements cc::CcContext.
+class System : public cc::CcContext {
+ public:
+  explicit System(const config::SystemConfig& config);
+  ~System() override = default;
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Spawns terminals (and the Snoop under 2PL). Called by Run(); exposed
+  /// separately for tests that drive the simulation manually.
+  void Start();
+
+  /// Runs warmup + measurement and extracts the metrics.
+  RunResult Run();
+
+  // --- cc::CcContext ------------------------------------------------------
+  sim::Simulation& simulation() override { return sim_; }
+  const config::SystemConfig& config() const override { return config_; }
+  void RequestAbort(const txn::TxnPtr& txn, int attempt, NodeId from_node,
+                    txn::AbortReason reason) override;
+  void AuditRead(txn::Transaction& t, const PageRef& page) override;
+  void AuditInstallWrite(txn::Transaction& t, const PageRef& page) override;
+  void AuditSkippedWrite(txn::Transaction& t, const PageRef& page) override;
+
+  // --- accessors (tests, examples) ----------------------------------------
+  sim::Simulation& sim() { return sim_; }
+  const db::Catalog& catalog() const { return catalog_; }
+  net::Network& network() { return *network_; }
+  txn::CoordinatorService& coordinator() { return *coordinator_; }
+  workload::Source& source() { return *source_; }
+  cc::CcManager* cc_at(NodeId id) {
+    return nodes_[static_cast<std::size_t>(id)].cc.get();
+  }
+  resource::ResourceManager& resources(NodeId id) {
+    return *nodes_[static_cast<std::size_t>(id)].resources;
+  }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<CommittedTxn>& commit_log() const { return commit_log_; }
+  const cc::Snoop* snoop() const { return snoop_.get(); }
+
+  /// Current restart delay (one average observed response time).
+  double RestartDelay() const;
+
+ private:
+  void ResetStatsAtWarmup();
+  RunResult ExtractResult(double measured_seconds, double wall_seconds);
+
+  config::SystemConfig config_;
+  sim::Simulation sim_;
+  db::Catalog catalog_;
+  std::vector<Node> nodes_;  // index == NodeId; 0 is the host
+  std::vector<std::unique_ptr<sim::RandomStream>> node_rngs_;
+  std::unique_ptr<sim::RandomStream> restart_rng_;  // fake-restart draws
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<txn::CohortService> cohort_service_;
+  std::unique_ptr<txn::CoordinatorService> coordinator_;
+  std::unique_ptr<workload::Source> source_;
+  std::unique_ptr<cc::Snoop> snoop_;
+  bool started_ = false;
+
+  // Metrics.
+  stats::Tally rt_alltime_;   // never reset; drives the restart delay
+  stats::Tally rt_measured_;  // reset at warmup
+  stats::BatchMeans rt_batches_;
+  stats::Histogram rt_histogram_;
+  std::uint64_t commits_measured_ = 0;
+  std::uint64_t aborts_measured_ = 0;
+  std::array<std::uint64_t, txn::kNumAbortReasons>
+      aborts_by_reason_measured_{};
+  std::uint64_t messages_at_reset_ = 0;
+
+  // Shadow version store + commit log for the serializability audit.
+  struct ShadowEntry {
+    TxnId writer = 0;
+    std::uint64_t version = 0;
+  };
+  std::unordered_map<std::uint64_t, ShadowEntry> shadow_;
+  std::vector<CommittedTxn> commit_log_;
+};
+
+}  // namespace ccsim::engine
+
+#endif  // CCSIM_ENGINE_SYSTEM_H_

@@ -1,0 +1,145 @@
+#include "ccsim/experiments/cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::experiments {
+
+namespace {
+constexpr char kDefaultDir[] = "ccsim_bench_cache";
+constexpr int kFormatVersion = 4;  // bump when RunResult fields change
+}  // namespace
+
+ResultCache::ResultCache() {
+  const char* env = std::getenv("CCSIM_CACHE_DIR");
+  dir_ = env != nullptr && env[0] != '\0' ? env : kDefaultDir;
+}
+
+ResultCache::ResultCache(std::string directory) : dir_(std::move(directory)) {}
+
+std::string ResultCache::PathFor(const config::SystemConfig& config) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "v%d_%016" PRIx64 ".result",
+                kFormatVersion, config.Fingerprint());
+  return dir_ + "/" + name;
+}
+
+std::string SerializeResult(const engine::RunResult& r) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "throughput " << r.throughput << "\n"
+      << "mean_response_time " << r.mean_response_time << "\n"
+      << "rt_ci_half_width " << r.rt_ci_half_width << "\n"
+      << "max_response_time " << r.max_response_time << "\n"
+      << "rt_p50 " << r.rt_p50 << "\n"
+      << "rt_p90 " << r.rt_p90 << "\n"
+      << "rt_p99 " << r.rt_p99 << "\n"
+      << "commits " << r.commits << "\n"
+      << "aborts " << r.aborts << "\n"
+      << "abort_ratio " << r.abort_ratio << "\n"
+      << "aborts_local_deadlock " << r.aborts_local_deadlock << "\n"
+      << "aborts_global_deadlock " << r.aborts_global_deadlock << "\n"
+      << "aborts_wound " << r.aborts_wound << "\n"
+      << "aborts_timestamp " << r.aborts_timestamp << "\n"
+      << "aborts_certification " << r.aborts_certification << "\n"
+      << "aborts_die " << r.aborts_die << "\n"
+      << "aborts_timeout " << r.aborts_timeout << "\n"
+      << "host_cpu_util " << r.host_cpu_util << "\n"
+      << "proc_cpu_util " << r.proc_cpu_util << "\n"
+      << "disk_util " << r.disk_util << "\n"
+      << "mean_blocking_time " << r.mean_blocking_time << "\n"
+      << "blocked_waits " << r.blocked_waits << "\n"
+      << "messages_per_commit " << r.messages_per_commit << "\n"
+      << "transactions_submitted " << r.transactions_submitted << "\n"
+      << "live_at_end " << r.live_at_end << "\n"
+      << "events " << r.events << "\n"
+      << "sim_seconds " << r.sim_seconds << "\n"
+      << "wall_seconds " << r.wall_seconds << "\n"
+      << "audited " << (r.audited ? 1 : 0) << "\n"
+      << "serializable " << (r.serializable ? 1 : 0) << "\n";
+  return out.str();
+}
+
+std::optional<engine::RunResult> ParseResult(const std::string& text) {
+  engine::RunResult r;
+  std::istringstream in(text);
+  std::string key;
+  int fields = 0;
+  while (in >> key) {
+    double value = 0;
+    if (!(in >> value)) return std::nullopt;
+    ++fields;
+    if (key == "throughput") r.throughput = value;
+    else if (key == "mean_response_time") r.mean_response_time = value;
+    else if (key == "rt_ci_half_width") r.rt_ci_half_width = value;
+    else if (key == "max_response_time") r.max_response_time = value;
+    else if (key == "rt_p50") r.rt_p50 = value;
+    else if (key == "rt_p90") r.rt_p90 = value;
+    else if (key == "rt_p99") r.rt_p99 = value;
+    else if (key == "commits") r.commits = static_cast<std::uint64_t>(value);
+    else if (key == "aborts") r.aborts = static_cast<std::uint64_t>(value);
+    else if (key == "abort_ratio") r.abort_ratio = value;
+    else if (key == "aborts_local_deadlock") r.aborts_local_deadlock = static_cast<std::uint64_t>(value);
+    else if (key == "aborts_global_deadlock") r.aborts_global_deadlock = static_cast<std::uint64_t>(value);
+    else if (key == "aborts_wound") r.aborts_wound = static_cast<std::uint64_t>(value);
+    else if (key == "aborts_timestamp") r.aborts_timestamp = static_cast<std::uint64_t>(value);
+    else if (key == "aborts_certification") r.aborts_certification = static_cast<std::uint64_t>(value);
+    else if (key == "aborts_die") r.aborts_die = static_cast<std::uint64_t>(value);
+    else if (key == "aborts_timeout") r.aborts_timeout = static_cast<std::uint64_t>(value);
+    else if (key == "host_cpu_util") r.host_cpu_util = value;
+    else if (key == "proc_cpu_util") r.proc_cpu_util = value;
+    else if (key == "disk_util") r.disk_util = value;
+    else if (key == "mean_blocking_time") r.mean_blocking_time = value;
+    else if (key == "blocked_waits") r.blocked_waits = static_cast<std::uint64_t>(value);
+    else if (key == "messages_per_commit") r.messages_per_commit = value;
+    else if (key == "transactions_submitted") r.transactions_submitted = static_cast<std::uint64_t>(value);
+    else if (key == "live_at_end") r.live_at_end = static_cast<std::uint64_t>(value);
+    else if (key == "events") r.events = static_cast<std::uint64_t>(value);
+    else if (key == "sim_seconds") r.sim_seconds = value;
+    else if (key == "wall_seconds") r.wall_seconds = value;
+    else if (key == "audited") r.audited = value != 0;
+    else if (key == "serializable") r.serializable = value != 0;
+    else --fields;  // unknown key: tolerated (forward compatibility)
+  }
+  if (fields < 18) return std::nullopt;
+  return r;
+}
+
+std::optional<engine::RunResult> ResultCache::Load(
+    const config::SystemConfig& config) const {
+  std::ifstream in(PathFor(config));
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseResult(buffer.str());
+}
+
+void ResultCache::Store(const config::SystemConfig& config,
+                        const engine::RunResult& result) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  std::string path = PathFor(config);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    CCSIM_CHECK_MSG(static_cast<bool>(out), "cannot write result cache file");
+    out << SerializeResult(result);
+  }
+  std::filesystem::rename(tmp, path, ec);
+}
+
+engine::RunResult ResultCache::GetOrRun(
+    const config::SystemConfig& config) const {
+  if (auto cached = Load(config)) return *cached;
+  engine::RunResult result = engine::RunSimulation(config);
+  Store(config, result);
+  return result;
+}
+
+}  // namespace ccsim::experiments

@@ -1,0 +1,47 @@
+#ifndef CCSIM_EXPERIMENTS_CACHE_H_
+#define CCSIM_EXPERIMENTS_CACHE_H_
+
+#include <optional>
+#include <string>
+
+#include "ccsim/config/params.h"
+#include "ccsim/engine/run.h"
+
+namespace ccsim::experiments {
+
+/// Simulation-point result cache shared by the figure benchmarks.
+///
+/// Several figures are different views of the same sweeps (Figs 2-7 all come
+/// from the machine-size experiment), so each simulation point is stored
+/// under a key derived from the *full* configuration fingerprint; any figure
+/// binary that needs the point first looks here. One small text file per
+/// point, in the directory named by $CCSIM_CACHE_DIR (default:
+/// ./ccsim_bench_cache). Delete the directory to force recomputation.
+class ResultCache {
+ public:
+  /// Uses $CCSIM_CACHE_DIR or the default directory. Creates it on demand.
+  ResultCache();
+  explicit ResultCache(std::string directory);
+
+  std::optional<engine::RunResult> Load(
+      const config::SystemConfig& config) const;
+  void Store(const config::SystemConfig& config,
+             const engine::RunResult& result) const;
+
+  /// Loads the cached result or runs the simulation and caches it.
+  engine::RunResult GetOrRun(const config::SystemConfig& config) const;
+
+  const std::string& directory() const { return dir_; }
+
+ private:
+  std::string PathFor(const config::SystemConfig& config) const;
+  std::string dir_;
+};
+
+/// Serialization used by the cache (exposed for tests).
+std::string SerializeResult(const engine::RunResult& r);
+std::optional<engine::RunResult> ParseResult(const std::string& text);
+
+}  // namespace ccsim::experiments
+
+#endif  // CCSIM_EXPERIMENTS_CACHE_H_

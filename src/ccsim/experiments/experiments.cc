@@ -1,0 +1,78 @@
+#include "ccsim/experiments/experiments.h"
+
+#include <cstdlib>
+
+namespace ccsim::experiments {
+
+namespace {
+bool EnvSet(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+}  // namespace
+
+std::vector<double> PaperThinkTimes() {
+  return {0, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 120};
+}
+
+std::vector<double> FineThinkTimes() {
+  return {0, 1, 2, 4, 6, 8, 12, 16, 20, 24, 32, 48, 64, 96, 120};
+}
+
+void ApplyRunScale(config::SystemConfig& config) {
+  if (EnvSet("CCSIM_QUICK")) {
+    config.run.warmup_sec = 100;
+    config.run.measure_sec = 400;
+  } else if (EnvSet("CCSIM_FULL")) {
+    config.run.warmup_sec = 500;
+    config.run.measure_sec = 3000;
+  } else {
+    config.run.warmup_sec = 300;
+    config.run.measure_sec = 1500;
+  }
+}
+
+config::SystemConfig Exp1Config(int num_proc_nodes, config::CcAlgorithm alg,
+                                double think_time) {
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  cfg.machine.num_proc_nodes = num_proc_nodes;
+  cfg.placement.degree = num_proc_nodes;  // decluster over the whole machine
+  cfg.database.pages_per_file = 300;
+  cfg.costs.inst_per_startup = 2000;
+  cfg.costs.inst_per_msg = 1000;
+  cfg.algorithm = alg;
+  cfg.workload.think_time_sec = think_time;
+  ApplyRunScale(cfg);
+  return cfg;
+}
+
+config::SystemConfig Exp2Config(int degree, int pages_per_file,
+                                config::CcAlgorithm alg, double think_time) {
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  cfg.machine.num_proc_nodes = 8;
+  cfg.placement.degree = degree;
+  cfg.database.pages_per_file = pages_per_file;
+  cfg.costs.inst_per_startup = 2000;
+  cfg.costs.inst_per_msg = 1000;
+  cfg.algorithm = alg;
+  cfg.workload.think_time_sec = think_time;
+  ApplyRunScale(cfg);
+  return cfg;
+}
+
+config::SystemConfig Exp3Config(int degree, double inst_per_startup,
+                                double inst_per_msg, config::CcAlgorithm alg,
+                                double think_time) {
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  cfg.machine.num_proc_nodes = 8;
+  cfg.placement.degree = degree;
+  cfg.database.pages_per_file = 300;
+  cfg.costs.inst_per_startup = inst_per_startup;
+  cfg.costs.inst_per_msg = inst_per_msg;
+  cfg.algorithm = alg;
+  cfg.workload.think_time_sec = think_time;
+  ApplyRunScale(cfg);
+  return cfg;
+}
+
+}  // namespace ccsim::experiments

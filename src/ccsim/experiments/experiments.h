@@ -1,0 +1,44 @@
+#ifndef CCSIM_EXPERIMENTS_EXPERIMENTS_H_
+#define CCSIM_EXPERIMENTS_EXPERIMENTS_H_
+
+#include <vector>
+
+#include "ccsim/config/params.h"
+
+namespace ccsim::experiments {
+
+/// The terminal think-time grid used to sweep system load (Sec 4.1: 0-120 s).
+std::vector<double> PaperThinkTimes();
+
+/// A denser grid for the figures whose interesting region is mid-range.
+std::vector<double> FineThinkTimes();
+
+/// Scales the run window from the environment:
+///   CCSIM_QUICK=1  -> short runs (smoke-testing the harness)
+///   CCSIM_FULL=1   -> long runs (tightest confidence intervals)
+/// Default: the standard window (warmup 300 s, measurement 1500 s).
+void ApplyRunScale(config::SystemConfig& config);
+
+/// Experiment 1 (Sec 4.2, Figs 2-7): machine size and parallelism scale
+/// together. `num_proc_nodes` in {1, 2, 4, 8}; each relation is declustered
+/// over all processing nodes; FileSize 300 pages; InstPerStartup 2K,
+/// InstPerMsg 1K.
+config::SystemConfig Exp1Config(int num_proc_nodes, config::CcAlgorithm alg,
+                                double think_time);
+
+/// Experiment 2 (Sec 4.3, Figs 8-13): fixed 8-node machine; partitioning
+/// degree 1 (sequential) or 8 (fully parallel); FileSize 300 (small) or
+/// 1200 (large) pages.
+config::SystemConfig Exp2Config(int degree, int pages_per_file,
+                                config::CcAlgorithm alg, double think_time);
+
+/// Experiment 3 (Sec 4.4, Figs 14-17): fixed 8-node machine, small database;
+/// partitioning degree in {1, 2, 4, 8}; message and process-initiation
+/// overheads varied.
+config::SystemConfig Exp3Config(int degree, double inst_per_startup,
+                                double inst_per_msg, config::CcAlgorithm alg,
+                                double think_time);
+
+}  // namespace ccsim::experiments
+
+#endif  // CCSIM_EXPERIMENTS_EXPERIMENTS_H_

@@ -1,0 +1,70 @@
+#include "ccsim/experiments/report.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+namespace ccsim::experiments {
+
+void PrintTable(std::ostream& out, const std::string& title,
+                const std::string& x_label, const std::vector<double>& xs,
+                const std::vector<config::CcAlgorithm>& algorithms,
+                const CellFn& cell, int precision) {
+  out << "\n== " << title << " ==\n";
+  out << std::setw(12) << x_label;
+  for (auto alg : algorithms) out << std::setw(12) << config::ToString(alg);
+  out << "\n";
+  out << std::fixed << std::setprecision(precision);
+  for (double x : xs) {
+    out << std::setw(12) << x;
+    for (auto alg : algorithms) out << std::setw(12) << cell(alg, x);
+    out << "\n";
+  }
+  out.unsetf(std::ios::fixed);
+  out << std::setprecision(6);
+}
+
+void PrintCsv(std::ostream& out, const std::string& x_label,
+              const std::vector<double>& xs,
+              const std::vector<config::CcAlgorithm>& algorithms,
+              const CellFn& cell) {
+  out << x_label;
+  for (auto alg : algorithms) out << "," << config::ToString(alg);
+  out << "\n";
+  for (double x : xs) {
+    out << x;
+    for (auto alg : algorithms) out << "," << cell(alg, x);
+    out << "\n";
+  }
+}
+
+bool WriteCsvFile(const std::string& path, const std::string& x_label,
+                  const std::vector<double>& xs,
+                  const std::vector<config::CcAlgorithm>& algorithms,
+                  const CellFn& cell) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return false;
+  }
+  PrintCsv(out, x_label, xs, algorithms, cell);
+  return true;
+}
+
+void PrintFigureHeader(std::ostream& out, const std::string& figure_id,
+                       const std::string& description,
+                       const std::string& expected_shape) {
+  out << "================================================================\n"
+      << figure_id << ": " << description << "\n"
+      << "(Carey & Livny, SIGMOD 1989)\n"
+      << "Expected shape: " << expected_shape << "\n"
+      << "================================================================\n";
+}
+
+}  // namespace ccsim::experiments

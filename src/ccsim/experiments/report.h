@@ -1,0 +1,47 @@
+#ifndef CCSIM_EXPERIMENTS_REPORT_H_
+#define CCSIM_EXPERIMENTS_REPORT_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ccsim/config/params.h"
+
+namespace ccsim::experiments {
+
+/// Computes the plotted value for one (algorithm, x) cell - either a direct
+/// metric of a sweep point or a derived quantity (speedup, percentage
+/// degradation).
+using CellFn = std::function<double(config::CcAlgorithm, double x)>;
+
+/// Prints one paper figure as an ASCII table: one row per value of the swept
+/// variable, one column per algorithm. These are exactly the series the
+/// paper's figure plots.
+void PrintTable(std::ostream& out, const std::string& title,
+                const std::string& x_label, const std::vector<double>& xs,
+                const std::vector<config::CcAlgorithm>& algorithms,
+                const CellFn& cell, int precision = 3);
+
+/// Same series in CSV form (for external plotting).
+void PrintCsv(std::ostream& out, const std::string& x_label,
+              const std::vector<double>& xs,
+              const std::vector<config::CcAlgorithm>& algorithms,
+              const CellFn& cell);
+
+/// Prints a short header common to all figure binaries (figure id, paper
+/// reference, expected qualitative shape).
+void PrintFigureHeader(std::ostream& out, const std::string& figure_id,
+                       const std::string& description,
+                       const std::string& expected_shape);
+
+/// Writes the same series PrintCsv produces to `path`, creating parent
+/// directories as needed. Returns false (and warns on stderr) on I/O error.
+bool WriteCsvFile(const std::string& path, const std::string& x_label,
+                  const std::vector<double>& xs,
+                  const std::vector<config::CcAlgorithm>& algorithms,
+                  const CellFn& cell);
+
+}  // namespace ccsim::experiments
+
+#endif  // CCSIM_EXPERIMENTS_REPORT_H_

@@ -1,0 +1,44 @@
+#include "ccsim/experiments/sweep.h"
+
+#include <cstdio>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::experiments {
+
+std::vector<Point> RunGrid(const ResultCache& cache,
+                           const std::vector<config::CcAlgorithm>& algorithms,
+                           const std::vector<double>& xs, const ConfigFn& make,
+                           bool verbose) {
+  std::vector<Point> points;
+  points.reserve(algorithms.size() * xs.size());
+  for (config::CcAlgorithm alg : algorithms) {
+    for (double x : xs) {
+      config::SystemConfig cfg = make(alg, x);
+      bool cached = cache.Load(cfg).has_value();
+      engine::RunResult result = cache.GetOrRun(cfg);
+      if (verbose && !cached) {
+        std::fprintf(stderr,
+                     "  [sim] %-5s x=%-7.4g thr=%8.3f rt=%8.3f "
+                     "(%.1fs wall, %llu events)\n",
+                     config::ToString(alg), x, result.throughput,
+                     result.mean_response_time, result.wall_seconds,
+                     static_cast<unsigned long long>(result.events));
+      }
+      points.push_back(Point{alg, x, result});
+    }
+  }
+  return points;
+}
+
+const engine::RunResult& At(const std::vector<Point>& points,
+                            config::CcAlgorithm algorithm, double x) {
+  for (const Point& p : points) {
+    if (p.algorithm == algorithm && p.x == x) return p.result;
+  }
+  CCSIM_CHECK_MSG(false, "sweep point not found");
+  static engine::RunResult dummy;
+  return dummy;
+}
+
+}  // namespace ccsim::experiments

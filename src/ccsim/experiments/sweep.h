@@ -1,0 +1,37 @@
+#ifndef CCSIM_EXPERIMENTS_SWEEP_H_
+#define CCSIM_EXPERIMENTS_SWEEP_H_
+
+#include <functional>
+#include <vector>
+
+#include "ccsim/config/params.h"
+#include "ccsim/engine/run.h"
+#include "ccsim/experiments/cache.h"
+
+namespace ccsim::experiments {
+
+/// One point of a sweep: algorithm x sweep variable -> metrics.
+struct Point {
+  config::CcAlgorithm algorithm;
+  double x = 0.0;  // the swept quantity (think time, partition degree, ...)
+  engine::RunResult result;
+};
+
+/// Builds the configuration for (algorithm, x).
+using ConfigFn =
+    std::function<config::SystemConfig(config::CcAlgorithm, double)>;
+
+/// Runs algorithms x xs through the cache. Prints one progress line per
+/// fresh (uncached) simulation when `verbose`.
+std::vector<Point> RunGrid(const ResultCache& cache,
+                           const std::vector<config::CcAlgorithm>& algorithms,
+                           const std::vector<double>& xs, const ConfigFn& make,
+                           bool verbose = true);
+
+/// Finds the point for (algorithm, x); aborts if absent.
+const engine::RunResult& At(const std::vector<Point>& points,
+                            config::CcAlgorithm algorithm, double x);
+
+}  // namespace ccsim::experiments
+
+#endif  // CCSIM_EXPERIMENTS_SWEEP_H_

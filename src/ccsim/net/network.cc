@@ -1,0 +1,64 @@
+#include "ccsim/net/network.h"
+
+#include <utility>
+
+#include "ccsim/sim/check.h"
+#include "ccsim/sim/completion.h"
+
+namespace ccsim::net {
+
+const char* ToString(MsgTag tag) {
+  switch (tag) {
+    case MsgTag::kLoadCohort: return "LOAD_COHORT";
+    case MsgTag::kCohortReady: return "COHORT_READY";
+    case MsgTag::kCohortAborted: return "COHORT_ABORTED";
+    case MsgTag::kPrepare: return "PREPARE";
+    case MsgTag::kVote: return "VOTE";
+    case MsgTag::kCommit: return "COMMIT";
+    case MsgTag::kAbort: return "ABORT";
+    case MsgTag::kAck: return "ACK";
+    case MsgTag::kAbortRequest: return "ABORT_REQUEST";
+    case MsgTag::kSnoopQuery: return "SNOOP_QUERY";
+    case MsgTag::kSnoopReply: return "SNOOP_REPLY";
+    case MsgTag::kSnoopHandoff: return "SNOOP_HANDOFF";
+    case MsgTag::kCount: break;
+  }
+  return "?";
+}
+
+Network::Network(sim::Simulation* sim, std::vector<resource::Cpu*> node_cpus,
+                 double inst_per_msg)
+    : sim_(sim), cpus_(std::move(node_cpus)), inst_per_msg_(inst_per_msg) {
+  CCSIM_CHECK(inst_per_msg >= 0.0);
+}
+
+void Network::Send(NodeId from, NodeId to, MsgTag tag,
+                   std::function<void()> deliver) {
+  CCSIM_CHECK(from >= 0 && from < static_cast<NodeId>(cpus_.size()));
+  CCSIM_CHECK(to >= 0 && to < static_cast<NodeId>(cpus_.size()));
+  if (from == to) {
+    sim_->After(0.0, std::move(deliver));
+    return;
+  }
+  ++total_sent_;
+  ++counts_[static_cast<std::size_t>(tag)];
+  auto send_done = cpus_[static_cast<std::size_t>(from)]->Execute(
+      inst_per_msg_, resource::CpuJobClass::kMessage);
+  DeliverProcess(to, std::move(deliver), std::move(send_done));
+}
+
+sim::Process Network::DeliverProcess(
+    NodeId to, std::function<void()> deliver,
+    std::shared_ptr<sim::Completion<sim::Unit>> send_done) {
+  co_await sim::Await(std::move(send_done));
+  co_await sim::Await(cpus_[static_cast<std::size_t>(to)]->Execute(
+      inst_per_msg_, resource::CpuJobClass::kMessage));
+  deliver();
+}
+
+void Network::ResetStats() {
+  total_sent_ = 0;
+  counts_.fill(0);
+}
+
+}  // namespace ccsim::net

@@ -1,0 +1,73 @@
+#ifndef CCSIM_NET_NETWORK_H_
+#define CCSIM_NET_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ccsim/common/types.h"
+#include "ccsim/resource/cpu.h"
+#include "ccsim/sim/process.h"
+#include "ccsim/sim/simulation.h"
+
+namespace ccsim::net {
+
+/// Message kinds, used only for accounting (the payload travels in the
+/// delivery closure).
+enum class MsgTag {
+  kLoadCohort,
+  kCohortReady,
+  kCohortAborted,
+  kPrepare,
+  kVote,
+  kCommit,
+  kAbort,
+  kAck,
+  kAbortRequest,
+  kSnoopQuery,
+  kSnoopReply,
+  kSnoopHandoff,
+  kCount,  // sentinel
+};
+
+const char* ToString(MsgTag tag);
+
+/// The network manager of Sec 3.5: a switch with negligible wire time.
+/// Sending a message charges `InstPerMsg` of message-class CPU at the sender;
+/// on completion the message crosses instantaneously and charges `InstPerMsg`
+/// at the receiver; then the delivery closure runs at the receiving node.
+///
+/// Local sends (from == to) model intra-node hand-offs: they cost no CPU and
+/// deliver through the calendar at the current time.
+class Network {
+ public:
+  Network(sim::Simulation* sim, std::vector<resource::Cpu*> node_cpus,
+          double inst_per_msg);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void Send(NodeId from, NodeId to, MsgTag tag,
+            std::function<void()> deliver);
+
+  std::uint64_t messages_sent() const { return total_sent_; }
+  std::uint64_t messages_sent(MsgTag tag) const {
+    return counts_[static_cast<std::size_t>(tag)];
+  }
+  void ResetStats();
+
+ private:
+  sim::Process DeliverProcess(
+      NodeId to, std::function<void()> deliver,
+      std::shared_ptr<sim::Completion<sim::Unit>> send_done);
+
+  sim::Simulation* sim_;
+  std::vector<resource::Cpu*> cpus_;
+  double inst_per_msg_;
+  std::uint64_t total_sent_ = 0;
+  std::array<std::uint64_t, static_cast<std::size_t>(MsgTag::kCount)> counts_{};
+};
+
+}  // namespace ccsim::net
+
+#endif  // CCSIM_NET_NETWORK_H_

@@ -1,0 +1,118 @@
+#include "ccsim/resource/cpu.h"
+
+#include <utility>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::resource {
+
+namespace {
+// Relative slack when harvesting PS completions, to absorb floating-point
+// drift in the virtual clock.
+constexpr double kVirtualEps = 1e-9;
+}  // namespace
+
+Cpu::Cpu(sim::Simulation* sim, double mips) : sim_(sim), mips_(mips) {
+  CCSIM_CHECK(mips > 0.0);
+}
+
+std::shared_ptr<sim::Completion<sim::Unit>> Cpu::Execute(double instructions,
+                                                         CpuJobClass cls) {
+  return ExecuteSeconds(sim::InstructionsToSeconds(instructions, mips_), cls);
+}
+
+std::shared_ptr<sim::Completion<sim::Unit>> Cpu::ExecuteSeconds(
+    sim::SimTime seconds, CpuJobClass cls) {
+  auto completion = sim::MakeCompletion<sim::Unit>(sim_);
+  if (seconds <= 0.0) {
+    completion->Complete(sim::Unit{});
+    ++jobs_completed_;
+    return completion;
+  }
+  UpdateVirtualTime();
+  if (cls == CpuJobClass::kMessage) {
+    msg_queue_.push_back(MsgJob{seconds, completion});
+    if (!msg_in_service_) StartNextMessage();
+    // Message service preempts PS work: the PS completion event (if any) is
+    // now stale and must be pushed out.
+    ReschedulePsEvent();
+  } else {
+    ps_jobs_.emplace(v_now_ + seconds, completion);
+    ReschedulePsEvent();
+  }
+  UpdateBusy();
+  return completion;
+}
+
+void Cpu::UpdateVirtualTime() {
+  sim::SimTime now = sim_->Now();
+  CCSIM_CHECK(now >= last_update_);
+  if (!msg_in_service_ && !ps_jobs_.empty()) {
+    v_now_ += (now - last_update_) / static_cast<double>(ps_jobs_.size());
+  }
+  last_update_ = now;
+}
+
+void Cpu::UpdateBusy() {
+  bool busy = msg_in_service_ || !ps_jobs_.empty();
+  busy_.Set(sim_->Now(), busy ? 1.0 : 0.0);
+}
+
+void Cpu::StartNextMessage() {
+  CCSIM_CHECK(!msg_in_service_ && !msg_queue_.empty());
+  msg_in_service_ = true;
+  sim::SimTime duration = msg_queue_.front().duration;
+  sim_->After(duration, [this] { OnMessageDone(); });
+}
+
+void Cpu::OnMessageDone() {
+  UpdateVirtualTime();
+  CCSIM_CHECK(msg_in_service_ && !msg_queue_.empty());
+  auto completion = std::move(msg_queue_.front().completion);
+  msg_queue_.pop_front();
+  msg_in_service_ = false;
+  ++jobs_completed_;
+  completion->Complete(sim::Unit{});
+  if (!msg_queue_.empty()) {
+    StartNextMessage();
+  } else {
+    // PS work resumes; schedule its next completion.
+    ReschedulePsEvent();
+  }
+  UpdateBusy();
+}
+
+void Cpu::ReschedulePsEvent() {
+  if (ps_event_pending_) {
+    sim_->Cancel(ps_event_);
+    ps_event_pending_ = false;
+  }
+  if (msg_in_service_ || !msg_queue_.empty() || ps_jobs_.empty()) return;
+  double v_min = ps_jobs_.begin()->first;
+  double dv = v_min - v_now_;
+  if (dv < 0.0) dv = 0.0;
+  sim::SimTime dt = dv * static_cast<double>(ps_jobs_.size());
+  ps_event_ = sim_->After(dt, [this] { OnPsEvent(); });
+  ps_event_pending_ = true;
+}
+
+void Cpu::OnPsEvent() {
+  ps_event_pending_ = false;
+  UpdateVirtualTime();
+  CCSIM_CHECK(!ps_jobs_.empty());
+  // Snap the virtual clock onto the earliest completion to absorb drift, then
+  // harvest every job whose virtual end has been reached.
+  double v_min = ps_jobs_.begin()->first;
+  if (v_now_ < v_min) v_now_ = v_min;
+  double cutoff = v_now_ * (1.0 + kVirtualEps) + kVirtualEps;
+  while (!ps_jobs_.empty() && ps_jobs_.begin()->first <= cutoff) {
+    auto completion = std::move(ps_jobs_.begin()->second);
+    ps_jobs_.erase(ps_jobs_.begin());
+    ++jobs_completed_;
+    completion->Complete(sim::Unit{});
+  }
+  ReschedulePsEvent();
+  UpdateBusy();
+}
+
+}  // namespace ccsim::resource

@@ -1,0 +1,95 @@
+#ifndef CCSIM_RESOURCE_CPU_H_
+#define CCSIM_RESOURCE_CPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "ccsim/sim/completion.h"
+#include "ccsim/sim/simulation.h"
+#include "ccsim/sim/time.h"
+#include "ccsim/stats/time_weighted.h"
+
+namespace ccsim::resource {
+
+/// Scheduling class for CPU work, per the paper's resource manager (Sec 3.4):
+/// message handling is served FIFO at higher priority; all other work shares
+/// the processor (processor sharing).
+enum class CpuJobClass {
+  kMessage,  // FIFO, non-preemptive per job, preempts processor-sharing work
+  kUser,     // processor sharing
+};
+
+/// A single CPU with the paper's two-class discipline.
+///
+/// Implementation: classic virtual-time processor sharing. A PS job with
+/// demand `d` seconds completes when the PS virtual clock has advanced by
+/// `d`; the virtual clock runs at rate 1/n with n active PS jobs, and at rate
+/// 0 while message-class work occupies the CPU (priority preemption of the PS
+/// class as a whole).
+class Cpu {
+ public:
+  /// `mips`: instruction rate in millions of instructions per second.
+  Cpu(sim::Simulation* sim, double mips);
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Submits `instructions` of work in the given class. The returned
+  /// completion fires when the work finishes. Zero (or negative) demand
+  /// completes immediately without occupying the CPU.
+  std::shared_ptr<sim::Completion<sim::Unit>> Execute(double instructions,
+                                                      CpuJobClass cls);
+
+  /// Convenience: demand expressed directly in seconds.
+  std::shared_ptr<sim::Completion<sim::Unit>> ExecuteSeconds(sim::SimTime
+                                                                 seconds,
+                                                             CpuJobClass cls);
+
+  double mips() const { return mips_; }
+
+  /// Fraction of time the CPU was busy (either class) since the last reset.
+  double Utilization() const { return busy_.Mean(sim_->Now()); }
+  /// Restarts utilization integration (warmup deletion).
+  void ResetStats() { busy_.Reset(sim_->Now()); }
+
+  /// Diagnostics.
+  std::size_t ps_jobs_active() const { return ps_jobs_.size(); }
+  std::size_t messages_queued() const { return msg_queue_.size(); }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+
+ private:
+  struct MsgJob {
+    sim::SimTime duration;
+    std::shared_ptr<sim::Completion<sim::Unit>> completion;
+  };
+
+  void UpdateVirtualTime();
+  void UpdateBusy();
+  void StartNextMessage();
+  void ReschedulePsEvent();
+  void OnPsEvent();
+  void OnMessageDone();
+
+  sim::Simulation* sim_;
+  double mips_;
+
+  // Message (priority, FIFO) class.
+  std::deque<MsgJob> msg_queue_;
+  bool msg_in_service_ = false;
+
+  // Processor-sharing class, keyed by virtual completion time. A multimap
+  // because independent jobs can share a virtual end time.
+  std::multimap<double, std::shared_ptr<sim::Completion<sim::Unit>>> ps_jobs_;
+  double v_now_ = 0.0;
+  sim::SimTime last_update_ = 0.0;
+  sim::Simulation::EventId ps_event_ = 0;
+  bool ps_event_pending_ = false;
+
+  stats::TimeWeighted busy_;
+  std::uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace ccsim::resource
+
+#endif  // CCSIM_RESOURCE_CPU_H_

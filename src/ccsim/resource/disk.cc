@@ -1,0 +1,60 @@
+#include "ccsim/resource/disk.h"
+
+#include <utility>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::resource {
+
+Disk::Disk(sim::Simulation* sim, sim::SimTime min_access_time,
+           sim::SimTime max_access_time, sim::RandomStream rng)
+    : sim_(sim),
+      min_time_(min_access_time),
+      max_time_(max_access_time),
+      rng_(std::move(rng)) {
+  CCSIM_CHECK(min_access_time >= 0.0);
+  CCSIM_CHECK(max_access_time >= min_access_time);
+}
+
+std::shared_ptr<sim::Completion<sim::Unit>> Disk::Access(DiskOp op) {
+  auto completion = sim::MakeCompletion<sim::Unit>(sim_);
+  Request req{completion, sim_->Now()};
+  if (op == DiskOp::kWrite) {
+    write_queue_.push_back(std::move(req));
+  } else {
+    read_queue_.push_back(std::move(req));
+  }
+  if (!in_service_) StartNext();
+  return completion;
+}
+
+void Disk::StartNext() {
+  CCSIM_CHECK(!in_service_);
+  std::deque<Request>* q =
+      !write_queue_.empty() ? &write_queue_
+                            : (!read_queue_.empty() ? &read_queue_ : nullptr);
+  if (q == nullptr) {
+    busy_metric_.Set(sim_->Now(), 0.0);
+    return;
+  }
+  Request req = std::move(q->front());
+  q->pop_front();
+  in_service_ = true;
+  busy_metric_.Set(sim_->Now(), 1.0);
+  wait_times_.Record(sim_->Now() - req.enqueue_time);
+  sim::SimTime service = rng_.Uniform(min_time_, max_time_);
+  sim_->After(service, [this, req = std::move(req)] {
+    in_service_ = false;
+    ++accesses_completed_;
+    req.completion->Complete(sim::Unit{});
+    StartNext();
+  });
+}
+
+void Disk::ResetStats() {
+  busy_metric_.Reset(sim_->Now());
+  wait_times_.Reset();
+  accesses_completed_ = 0;
+}
+
+}  // namespace ccsim::resource

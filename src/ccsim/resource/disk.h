@@ -1,0 +1,67 @@
+#ifndef CCSIM_RESOURCE_DISK_H_
+#define CCSIM_RESOURCE_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "ccsim/sim/completion.h"
+#include "ccsim/sim/random.h"
+#include "ccsim/sim/simulation.h"
+#include "ccsim/stats/tally.h"
+#include "ccsim/stats/time_weighted.h"
+
+namespace ccsim::resource {
+
+enum class DiskOp { kRead, kWrite };
+
+/// A single disk with its own FIFO queue. Writes have (non-preemptive)
+/// priority over reads, per Sec 3.4 of the paper: the asynchronous post-commit
+/// write stream must keep up with demand. Access times are uniform over
+/// [min_access_time, max_access_time].
+class Disk {
+ public:
+  Disk(sim::Simulation* sim, sim::SimTime min_access_time,
+       sim::SimTime max_access_time, sim::RandomStream rng);
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Enqueues an access; the completion fires when the transfer finishes.
+  std::shared_ptr<sim::Completion<sim::Unit>> Access(DiskOp op);
+
+  double Utilization() const { return busy_metric_.Mean(sim_->Now()); }
+  void ResetStats();
+
+  /// Time requests spent waiting before service (since last stats reset).
+  const stats::Tally& wait_times() const { return wait_times_; }
+  std::uint64_t accesses_completed() const { return accesses_completed_; }
+  std::size_t queue_length() const {
+    return read_queue_.size() + write_queue_.size() +
+           (in_service_ ? 1u : 0u);
+  }
+
+ private:
+  struct Request {
+    std::shared_ptr<sim::Completion<sim::Unit>> completion;
+    sim::SimTime enqueue_time;
+  };
+
+  void StartNext();
+
+  sim::Simulation* sim_;
+  sim::SimTime min_time_;
+  sim::SimTime max_time_;
+  sim::RandomStream rng_;
+
+  std::deque<Request> read_queue_;
+  std::deque<Request> write_queue_;
+  bool in_service_ = false;
+
+  stats::TimeWeighted busy_metric_{0.0};
+  stats::Tally wait_times_;
+  std::uint64_t accesses_completed_ = 0;
+};
+
+}  // namespace ccsim::resource
+
+#endif  // CCSIM_RESOURCE_DISK_H_

@@ -1,0 +1,46 @@
+#include "ccsim/sim/calendar.h"
+
+#include <utility>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::sim {
+
+Calendar::EventId Calendar::Schedule(SimTime time, Handler handler) {
+  CCSIM_CHECK_MSG(time == time, "event scheduled at NaN time");
+  CCSIM_CHECK_MSG(time < kNever, "event scheduled at infinite time");
+  EventId id = next_id_++;
+  heap_.push(Entry{time, id});
+  handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+bool Calendar::Cancel(EventId id) { return handlers_.erase(id) > 0; }
+
+void Calendar::SkipCancelled() {
+  while (!heap_.empty() && handlers_.find(heap_.top().id) == handlers_.end()) {
+    heap_.pop();
+  }
+}
+
+std::optional<Calendar::Fired> Calendar::PopNext() {
+  SkipCancelled();
+  if (heap_.empty()) return std::nullopt;
+  Entry top = heap_.top();
+  heap_.pop();
+  auto it = handlers_.find(top.id);
+  Fired fired{top.time, top.id, std::move(it->second)};
+  handlers_.erase(it);
+  return fired;
+}
+
+SimTime Calendar::NextTime() const {
+  // const_cast-free variant of SkipCancelled: scan from the top lazily by
+  // copying; the heap is small relative to total events, and NextTime is only
+  // used on control paths, not per-event.
+  auto* self = const_cast<Calendar*>(this);
+  self->SkipCancelled();
+  return heap_.empty() ? kNever : heap_.top().time;
+}
+
+}  // namespace ccsim::sim

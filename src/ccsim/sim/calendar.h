@@ -1,0 +1,73 @@
+#ifndef CCSIM_SIM_CALENDAR_H_
+#define CCSIM_SIM_CALENDAR_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "ccsim/sim/time.h"
+
+namespace ccsim::sim {
+
+/// The event calendar: a pending-event set ordered by (time, insertion id).
+///
+/// Ties at the same simulated time fire in insertion order, which makes runs
+/// fully deterministic for a given seed. Cancellation is lazy: cancelled
+/// entries stay in the heap but are skipped by PopNext().
+class Calendar {
+ public:
+  using EventId = std::uint64_t;
+  using Handler = std::function<void()>;
+
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Handler handler;
+  };
+
+  Calendar() = default;
+  Calendar(const Calendar&) = delete;
+  Calendar& operator=(const Calendar&) = delete;
+
+  /// Schedules `handler` to fire at absolute time `time`. Returns an id that
+  /// can be used to cancel the event before it fires.
+  EventId Schedule(SimTime time, Handler handler);
+
+  /// Cancels a pending event. Returns true if the event was still pending.
+  bool Cancel(EventId id);
+
+  /// Removes and returns the earliest pending event, or nullopt if none.
+  std::optional<Fired> PopNext();
+
+  /// Time of the earliest pending event, or kNever if the calendar is empty.
+  SimTime NextTime() const;
+
+  /// Number of live (non-cancelled) pending events.
+  std::size_t size() const { return handlers_.size(); }
+  bool empty() const { return handlers_.empty(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, Handler> handlers_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace ccsim::sim
+
+#endif  // CCSIM_SIM_CALENDAR_H_

@@ -1,0 +1,33 @@
+#ifndef CCSIM_SIM_CHECK_H_
+#define CCSIM_SIM_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccsim::sim::internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ccsim check failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace ccsim::sim::internal
+
+/// Invariant check for simulation-internal consistency. Violations indicate a
+/// bug in the simulator (never a property of the modeled system), so the
+/// process aborts with a source location.
+#define CCSIM_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::ccsim::sim::internal::CheckFailed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CCSIM_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::ccsim::sim::internal::CheckFailed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#endif  // CCSIM_SIM_CHECK_H_

@@ -1,0 +1,34 @@
+#ifndef CCSIM_SIM_PROCESS_H_
+#define CCSIM_SIM_PROCESS_H_
+
+#include <coroutine>
+#include <exception>
+
+namespace ccsim::sim {
+
+/// A detached simulation process, in the DeNet/CSIM sense: a coroutine that
+/// interleaves model logic with awaits on simulated time and resources.
+///
+/// Processes are fire-and-forget. The coroutine starts executing eagerly when
+/// the process function is invoked, runs until its first `co_await`, and its
+/// frame is destroyed automatically when the body returns. The returned
+/// `Process` object is an opaque tag and may be discarded.
+///
+/// Ownership rule: while suspended, a process is owned by exactly one waiting
+/// facility (the event calendar, a Completion, a resource queue); only that
+/// facility may resume it, exactly once. Facilities in this codebase resume
+/// through the calendar, never inline, so a process never re-enters another
+/// process's stack frame.
+struct Process {
+  struct promise_type {
+    Process get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+}  // namespace ccsim::sim
+
+#endif  // CCSIM_SIM_PROCESS_H_

@@ -1,0 +1,52 @@
+#include "ccsim/sim/random.h"
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::sim {
+
+namespace {
+// SplitMix64: decorrelates (master_seed, stream_id) pairs into engine seeds.
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+RandomStream::RandomStream(std::uint64_t master_seed, std::uint64_t stream_id) {
+  std::uint64_t state = master_seed ^ (stream_id * 0xd1342543de82ef95ULL + 1);
+  std::seed_seq seq{SplitMix64(state), SplitMix64(state), SplitMix64(state),
+                    SplitMix64(state)};
+  engine_.seed(seq);
+}
+
+double RandomStream::Exponential(double mean) {
+  CCSIM_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0.0;
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+double RandomStream::Uniform(double lo, double hi) {
+  CCSIM_CHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t RandomStream::UniformInt(std::int64_t lo, std::int64_t hi) {
+  CCSIM_CHECK(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool RandomStream::Bernoulli(double p) {
+  CCSIM_CHECK(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+}  // namespace ccsim::sim

@@ -1,0 +1,42 @@
+#ifndef CCSIM_SIM_RANDOM_H_
+#define CCSIM_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace ccsim::sim {
+
+/// A reproducible stream of pseudo-random variates.
+///
+/// Each stochastic element of the model (think times, access selection, disk
+/// service, instruction counts, ...) owns its own stream, derived from the
+/// run's master seed and a distinct stream id, so that changing how one model
+/// component consumes randomness does not perturb the others (common random
+/// numbers across configurations, as in the paper's DeNet methodology).
+class RandomStream {
+ public:
+  RandomStream(std::uint64_t master_seed, std::uint64_t stream_id);
+
+  /// Exponentially distributed variate with the given mean. A mean of zero
+  /// returns 0 (the paper's "think time 0" case).
+  double Exponential(double mean);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Raw 64-bit output (for shuffles and sampling helpers).
+  std::uint64_t Next() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ccsim::sim
+
+#endif  // CCSIM_SIM_RANDOM_H_

@@ -1,0 +1,41 @@
+#include "ccsim/sim/simulation.h"
+
+#include <utility>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::sim {
+
+Simulation::EventId Simulation::At(SimTime time, Handler handler) {
+  CCSIM_CHECK_MSG(time >= now_, "event scheduled in the past");
+  return calendar_.Schedule(time, std::move(handler));
+}
+
+void Simulation::Run() {
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    auto fired = calendar_.PopNext();
+    if (!fired) break;
+    CCSIM_CHECK(fired->time >= now_);
+    now_ = fired->time;
+    ++events_fired_;
+    fired->handler();
+  }
+}
+
+void Simulation::RunUntil(SimTime end) {
+  CCSIM_CHECK_MSG(end >= now_, "RunUntil target in the past");
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    SimTime next = calendar_.NextTime();
+    if (next > end) break;
+    auto fired = calendar_.PopNext();
+    if (!fired) break;
+    now_ = fired->time;
+    ++events_fired_;
+    fired->handler();
+  }
+  if (now_ < end) now_ = end;
+}
+
+}  // namespace ccsim::sim

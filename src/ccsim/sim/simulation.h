@@ -1,0 +1,92 @@
+#ifndef CCSIM_SIM_SIMULATION_H_
+#define CCSIM_SIM_SIMULATION_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+
+#include "ccsim/sim/calendar.h"
+#include "ccsim/sim/process.h"
+#include "ccsim/sim/time.h"
+
+namespace ccsim::sim {
+
+/// The simulation executive: owns the clock and the event calendar and runs
+/// the event loop. Single-threaded and deterministic.
+class Simulation {
+ public:
+  using EventId = Calendar::EventId;
+  using Handler = Calendar::Handler;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `handler` at absolute simulated time `time` (>= Now()).
+  EventId At(SimTime time, Handler handler);
+
+  /// Schedules `handler` after a relative delay `dt` (>= 0).
+  EventId After(SimTime dt, Handler handler) {
+    return At(now_ + dt, std::move(handler));
+  }
+
+  /// Cancels a pending event; returns true if it had not yet fired.
+  bool Cancel(EventId id) { return calendar_.Cancel(id); }
+
+  /// Runs until the calendar is empty or Stop() is called.
+  void Run();
+
+  /// Runs all events with time <= `end`; leaves the clock at `end` (or at the
+  /// last event time if the calendar empties first and that is later).
+  void RunUntil(SimTime end);
+
+  /// Requests the event loop to stop after the currently firing event.
+  void Stop() { stop_requested_ = true; }
+
+  /// Total number of events fired so far (a cheap progress/perf metric).
+  std::uint64_t events_fired() const { return events_fired_; }
+
+  /// Number of live pending events.
+  std::size_t pending_events() const { return calendar_.size(); }
+
+  // --- Coroutine support -----------------------------------------------
+
+  /// Awaitable that suspends the calling process for `dt` simulated seconds.
+  /// A zero delay still goes through the calendar (yielding to other events
+  /// already scheduled at the current time).
+  class DelayAwaitable {
+   public:
+    DelayAwaitable(Simulation* sim, SimTime dt) : sim_(sim), dt_(dt) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim_->After(dt_, [h] { h.resume(); });
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Simulation* sim_;
+    SimTime dt_;
+  };
+
+  /// `co_await sim.Delay(t)` inside a Process.
+  DelayAwaitable Delay(SimTime dt) { return DelayAwaitable(this, dt); }
+
+  /// Resumes a suspended coroutine through the calendar at the current time.
+  /// This is the only sanctioned way for facilities to wake a process.
+  void ResumeLater(std::coroutine_handle<> h) {
+    After(0.0, [h] { h.resume(); });
+  }
+
+ private:
+  Calendar calendar_;
+  SimTime now_ = 0.0;
+  bool stop_requested_ = false;
+  std::uint64_t events_fired_ = 0;
+};
+
+}  // namespace ccsim::sim
+
+#endif  // CCSIM_SIM_SIMULATION_H_

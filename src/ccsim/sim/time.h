@@ -1,0 +1,27 @@
+#ifndef CCSIM_SIM_TIME_H_
+#define CCSIM_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ccsim::sim {
+
+/// Simulated time, in seconds. All model parameters expressed in other units
+/// (instructions, milliseconds) are converted to seconds at the model layer.
+using SimTime = double;
+
+/// A value no event time can reach; used as "never".
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+/// Converts milliseconds to SimTime seconds.
+constexpr SimTime FromMillis(double ms) { return ms / 1000.0; }
+
+/// Converts a CPU demand in instructions to seconds on a CPU of the given
+/// MIPS rating (millions of instructions per second).
+constexpr SimTime InstructionsToSeconds(double instructions, double mips) {
+  return instructions / (mips * 1.0e6);
+}
+
+}  // namespace ccsim::sim
+
+#endif  // CCSIM_SIM_TIME_H_

@@ -1,0 +1,74 @@
+#include "ccsim/stats/batch_means.h"
+
+#include <cmath>
+#include <cstddef>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::stats {
+
+namespace {
+// Two-sided 97.5% Student-t quantiles for df = 1..30; normal beyond.
+constexpr double kT975[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+double TQuantile975(std::size_t df) {
+  if (df == 0) return 0.0;
+  if (df <= 30) return kT975[df - 1];
+  return 1.96;
+}
+}  // namespace
+
+BatchMeans::BatchMeans(std::uint64_t batch_size) : batch_size_(batch_size) {
+  CCSIM_CHECK(batch_size >= 1);
+}
+
+void BatchMeans::Record(double x) {
+  ++observations_;
+  running_sum_ += x;
+  current_batch_sum_ += x;
+  if (++current_batch_count_ == batch_size_) {
+    batch_means_.push_back(current_batch_sum_ /
+                           static_cast<double>(batch_size_));
+    current_batch_sum_ = 0.0;
+    current_batch_count_ = 0;
+  }
+}
+
+void BatchMeans::Reset() {
+  observations_ = 0;
+  running_sum_ = 0.0;
+  current_batch_sum_ = 0.0;
+  current_batch_count_ = 0;
+  batch_means_.clear();
+}
+
+double BatchMeans::mean() const {
+  if (batch_means_.empty()) {
+    return observations_ ? running_sum_ / static_cast<double>(observations_)
+                         : 0.0;
+  }
+  double sum = 0.0;
+  for (double m : batch_means_) sum += m;
+  return sum / static_cast<double>(batch_means_.size());
+}
+
+double BatchMeans::half_width_95() const {
+  std::size_t n = batch_means_.size();
+  if (n < 2) return 0.0;
+  double grand = mean();
+  double ss = 0.0;
+  for (double m : batch_means_) ss += (m - grand) * (m - grand);
+  double var = ss / static_cast<double>(n - 1);
+  return TQuantile975(n - 1) * std::sqrt(var / static_cast<double>(n));
+}
+
+double BatchMeans::relative_half_width_95() const {
+  double m = mean();
+  if (m == 0.0) return 0.0;
+  return half_width_95() / std::abs(m);
+}
+
+}  // namespace ccsim::stats

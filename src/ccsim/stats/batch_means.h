@@ -1,0 +1,48 @@
+#ifndef CCSIM_STATS_BATCH_MEANS_H_
+#define CCSIM_STATS_BATCH_MEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ccsim::stats {
+
+/// Batch-means confidence interval estimator for steady-state simulation
+/// output (the standard remedy for autocorrelated observations such as
+/// successive transaction response times).
+///
+/// Observations are grouped into fixed-size batches; the batch means are
+/// treated as (approximately) independent samples and a t-based confidence
+/// interval is formed over them.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::uint64_t batch_size);
+
+  void Record(double x);
+  void Reset();
+
+  std::uint64_t observations() const { return observations_; }
+  std::uint64_t num_batches() const { return batch_means_.size(); }
+
+  /// Grand mean over completed batches (falls back to the running mean of all
+  /// observations if no batch completed).
+  double mean() const;
+
+  /// Half-width of the confidence interval at ~95% confidence over batch
+  /// means. Returns 0 with fewer than two completed batches.
+  double half_width_95() const;
+
+  /// Relative half-width (half_width / |mean|), or 0 if mean is 0.
+  double relative_half_width_95() const;
+
+ private:
+  std::uint64_t batch_size_;
+  std::uint64_t observations_ = 0;
+  double running_sum_ = 0.0;
+  double current_batch_sum_ = 0.0;
+  std::uint64_t current_batch_count_ = 0;
+  std::vector<double> batch_means_;
+};
+
+}  // namespace ccsim::stats
+
+#endif  // CCSIM_STATS_BATCH_MEANS_H_

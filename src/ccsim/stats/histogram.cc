@@ -1,0 +1,54 @@
+#include "ccsim/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(num_bins)),
+      bins_(num_bins, 0) {
+  CCSIM_CHECK(hi > lo);
+  CCSIM_CHECK(num_bins >= 1);
+}
+
+void Histogram::Record(double x) {
+  ++count_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= bins_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++bins_[idx];
+}
+
+void Histogram::Reset() {
+  std::fill(bins_.begin(), bins_.end(), 0);
+  count_ = underflow_ = overflow_ = 0;
+}
+
+double Histogram::Quantile(double q) const {
+  CCSIM_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return lo_;
+  double target = q * static_cast<double>(count_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    double next = cum + static_cast<double>(bins_[i]);
+    if (next >= target && bins_[i] > 0) {
+      double frac = (target - cum) / static_cast<double>(bins_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return bin_hi(bins_.size() - 1);
+}
+
+}  // namespace ccsim::stats

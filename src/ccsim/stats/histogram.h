@@ -1,0 +1,41 @@
+#ifndef CCSIM_STATS_HISTOGRAM_H_
+#define CCSIM_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ccsim::stats {
+
+/// Fixed-width-bin histogram over [lo, hi) with underflow/overflow buckets.
+/// Used for response-time distributions in the examples and for diagnostic
+/// output.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void Record(double x);
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::size_t num_bins() const { return bins_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return bins_[i]; }
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+  /// Approximate quantile (linear interpolation within a bin); q in [0, 1].
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace ccsim::stats
+
+#endif  // CCSIM_STATS_HISTOGRAM_H_

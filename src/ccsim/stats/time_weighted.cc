@@ -1,0 +1,31 @@
+#include "ccsim/stats/time_weighted.h"
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::stats {
+
+void TimeWeighted::Set(sim::SimTime now, double value) {
+  CCSIM_CHECK(now >= last_);
+  integral_ += value_ * (now - last_);
+  last_ = now;
+  value_ = value;
+}
+
+void TimeWeighted::Add(sim::SimTime now, double delta) {
+  Set(now, value_ + delta);
+}
+
+void TimeWeighted::Reset(sim::SimTime now) {
+  integral_ = 0.0;
+  start_ = now;
+  last_ = now;
+}
+
+double TimeWeighted::Mean(sim::SimTime now) const {
+  CCSIM_CHECK(now >= last_);
+  double total = integral_ + value_ * (now - last_);
+  double elapsed = now - start_;
+  return elapsed > 0.0 ? total / elapsed : value_;
+}
+
+}  // namespace ccsim::stats

@@ -1,0 +1,163 @@
+#include "ccsim/txn/cohort.h"
+
+#include <utility>
+
+#include "ccsim/sim/check.h"
+#include "ccsim/txn/coordinator.h"
+
+namespace ccsim::txn {
+
+using resource::CpuJobClass;
+using resource::DiskOp;
+
+CohortService::CohortService(Services services) : s_(std::move(services)) {}
+
+AbortReason CohortService::SelfAbortReason() const {
+  switch (s_.config->algorithm) {
+    case config::CcAlgorithm::kWaitDie:
+      return AbortReason::kDie;
+    case config::CcAlgorithm::kTwoPhaseLockingTimeout:
+      return AbortReason::kTimeout;
+    default:
+      return AbortReason::kTimestampOrder;  // BTO rejection
+  }
+}
+
+void CohortService::HandleLoad(const TxnPtr& txn, int attempt,
+                               int cohort_index) {
+  if (txn->IsStaleAttempt(attempt)) return;
+  if (txn->cohort(cohort_index).abort_flag) return;  // abort raced the load
+  ++cohorts_started_;
+  RunCohort(txn, attempt, cohort_index);
+}
+
+sim::Process CohortService::RunCohort(TxnPtr txn, int attempt,
+                                      int cohort_index) {
+  const workload::CohortSpec& spec = txn->cohort_spec(cohort_index);
+  NodeId node = spec.node;
+  resource::Cpu* cpu = s_.cpu_at(node);
+  cc::CcManager* cc = s_.cc_at(node);
+  const auto& cls =
+      s_.config->workload.classes[static_cast<std::size_t>(
+          txn->spec().class_index)];
+
+  // Process initiation (InstPerStartup) at the cohort's node.
+  co_await sim::Await(
+      cpu->Execute(s_.config->costs.inst_per_startup, CpuJobClass::kUser));
+  if (txn->IsStaleAttempt(attempt) || txn->cohort(cohort_index).abort_flag)
+    co_return;
+
+  cc->BeginCohort(txn, cohort_index);
+  for (const workload::PageAccess& access : spec.accesses) {
+    // Concurrency control request (InstPerCCReq of CPU, usually 0).
+    if (s_.config->costs.inst_per_cc_req > 0) {
+      co_await sim::Await(cpu->Execute(s_.config->costs.inst_per_cc_req,
+                                       CpuJobClass::kUser));
+      if (txn->IsStaleAttempt(attempt) || txn->cohort(cohort_index).abort_flag)
+        co_return;
+    }
+    cc::AccessOutcome outcome = co_await sim::Await(cc->RequestAccess(
+        txn, cohort_index, access.page,
+        access.is_write ? AccessMode::kWrite : AccessMode::kRead));
+    if (txn->IsStaleAttempt(attempt)) co_return;
+    if (outcome == cc::AccessOutcome::kAborted) {
+      if (!txn->cohort(cohort_index).abort_flag) {
+        // Self-detected rejection (BTO out-of-order access, wait-die death,
+        // or lock-wait timeout): inform the coordinator; cleanup happens
+        // when its ABORT message returns.
+        AbortReason reason = SelfAbortReason();
+        s_.network->Send(node, kHostNode, net::MsgTag::kCohortAborted,
+                         [this, txn, attempt, reason] {
+                           coord_->OnCohortAborted(txn, attempt, reason);
+                         });
+      }
+      co_return;
+    }
+    if (txn->cohort(cohort_index).abort_flag) co_return;
+
+    if (!access.is_write) {
+      // Synchronous read I/O; updated pages defer their I/O to after commit.
+      co_await sim::Await(s_.disk_access(node, DiskOp::kRead));
+      if (txn->IsStaleAttempt(attempt) || txn->cohort(cohort_index).abort_flag)
+        co_return;
+    }
+
+    // Page processing: exponentially distributed around InstPerPage.
+    double instructions = s_.node_rng(node)->Exponential(cls.inst_per_page);
+    co_await sim::Await(cpu->Execute(instructions, CpuJobClass::kUser));
+    if (txn->IsStaleAttempt(attempt) || txn->cohort(cohort_index).abort_flag)
+      co_return;
+  }
+
+  txn->cohort(cohort_index).ready = true;
+  s_.network->Send(node, kHostNode, net::MsgTag::kCohortReady,
+                   [this, txn, attempt, cohort_index] {
+                     coord_->OnCohortReady(txn, attempt, cohort_index);
+                   });
+}
+
+void CohortService::HandlePrepare(const TxnPtr& txn, int attempt,
+                                  int cohort_index) {
+  if (txn->IsStaleAttempt(attempt)) return;
+  if (txn->cohort(cohort_index).abort_flag) return;  // abort raced; moot
+  PrepareProcess(txn, attempt, cohort_index);
+}
+
+sim::Process CohortService::PrepareProcess(TxnPtr txn, int attempt,
+                                           int cohort_index) {
+  NodeId node = txn->cohort_spec(cohort_index).node;
+  // Most managers vote immediately; 2PL-DW may block here while its write
+  // locks upgrade.
+  cc::Vote vote =
+      co_await sim::Await(s_.cc_at(node)->Prepare(txn, cohort_index));
+  if (txn->IsStaleAttempt(attempt) || txn->cohort(cohort_index).abort_flag)
+    co_return;  // aborted while preparing; the vote is moot
+  s_.network->Send(node, kHostNode, net::MsgTag::kVote,
+                   [this, txn, attempt, cohort_index, vote] {
+                     coord_->OnVote(txn, attempt, cohort_index, vote);
+                   });
+}
+
+void CohortService::HandleCommit(const TxnPtr& txn, int attempt,
+                                 int cohort_index) {
+  CCSIM_CHECK_MSG(!txn->IsStaleAttempt(attempt),
+                  "COMMIT delivered to a stale attempt");
+  NodeId node = txn->cohort_spec(cohort_index).node;
+  s_.cc_at(node)->CommitCohort(txn, cohort_index);
+  // Kick off the asynchronous write-back of every updated page.
+  for (const workload::PageAccess& access :
+       txn->cohort_spec(cohort_index).accesses) {
+    if (access.is_write) {
+      ++async_writes_;
+      AsyncPageWrite(node);
+    }
+  }
+  s_.network->Send(node, kHostNode, net::MsgTag::kAck,
+                   [this, txn, attempt, cohort_index] {
+                     coord_->OnCommitAck(txn, attempt, cohort_index);
+                   });
+}
+
+sim::Process CohortService::AsyncPageWrite(NodeId node) {
+  // InstPerUpdate of CPU to initiate, then the transfer on a random disk
+  // (write-priority queue). Nothing awaits this process.
+  co_await sim::Await(s_.cpu_at(node)->Execute(
+      s_.config->costs.inst_per_update, CpuJobClass::kUser));
+  co_await sim::Await(s_.disk_access(node, DiskOp::kWrite));
+}
+
+void CohortService::HandleAbort(const TxnPtr& txn, int attempt,
+                                int cohort_index) {
+  if (txn->IsStaleAttempt(attempt)) return;
+  NodeId node = txn->cohort_spec(cohort_index).node;
+  // Order matters: the flag silences the cohort coroutine before cleanup
+  // wakes any request it has blocked in the CC manager.
+  txn->cohort(cohort_index).abort_flag = true;
+  s_.cc_at(node)->AbortCohort(txn, cohort_index);
+  s_.network->Send(node, kHostNode, net::MsgTag::kAck,
+                   [this, txn, attempt, cohort_index] {
+                     coord_->OnAbortAck(txn, attempt, cohort_index);
+                   });
+}
+
+}  // namespace ccsim::txn

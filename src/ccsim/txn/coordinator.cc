@@ -1,0 +1,195 @@
+#include "ccsim/txn/coordinator.h"
+
+#include <utility>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::txn {
+
+using resource::CpuJobClass;
+
+CoordinatorService::CoordinatorService(Services services,
+                                       CohortService* cohorts)
+    : s_(std::move(services)), cohorts_(cohorts) {
+  cohorts_->set_coordinator(this);
+}
+
+std::shared_ptr<sim::Completion<sim::Unit>> CoordinatorService::Submit(
+    workload::TransactionSpec spec) {
+  auto done = sim::MakeCompletion<sim::Unit>(s_.sim);
+  auto txn = std::make_shared<Transaction>(next_id_++, std::move(spec),
+                                           s_.sim->Now(), done);
+  live_.emplace(txn->id(), txn);
+  StartAttempt(txn, /*first_attempt=*/true);
+  return done;
+}
+
+void CoordinatorService::StartAttempt(const TxnPtr& txn, bool first_attempt) {
+  txn->BeginAttempt(s_.sim->Now());
+  StartAttemptProcess(txn, first_attempt);
+}
+
+sim::Process CoordinatorService::StartAttemptProcess(TxnPtr txn,
+                                                     bool first_attempt) {
+  // The coordinator process itself is started once per transaction
+  // (InstPerStartup at the host); cohort processes restart on every attempt.
+  int attempt = txn->attempt();
+  if (first_attempt) {
+    co_await sim::Await(s_.cpu_at(kHostNode)->Execute(
+        s_.config->costs.inst_per_startup, CpuJobClass::kUser));
+    if (txn->IsStaleAttempt(attempt) || txn->phase() != TxnPhase::kRunning)
+      co_return;
+  }
+  if (txn->spec().exec_pattern == config::ExecPattern::kParallel) {
+    for (int i = 0; i < txn->num_cohorts(); ++i) SendLoad(txn, i);
+  } else {
+    SendLoad(txn, 0);  // sequential: chain via OnCohortReady
+  }
+}
+
+void CoordinatorService::SendLoad(const TxnPtr& txn, int cohort_index) {
+  txn->cohort(cohort_index).load_sent = true;
+  ++txn->loads_sent;
+  int attempt = txn->attempt();
+  NodeId node = txn->cohort_spec(cohort_index).node;
+  s_.network->Send(kHostNode, node, net::MsgTag::kLoadCohort,
+                   [this, txn, attempt, cohort_index] {
+                     cohorts_->HandleLoad(txn, attempt, cohort_index);
+                   });
+}
+
+void CoordinatorService::OnCohortReady(const TxnPtr& txn, int attempt,
+                                       int cohort_index) {
+  (void)cohort_index;
+  if (txn->IsStaleAttempt(attempt) || txn->phase() != TxnPhase::kRunning)
+    return;
+  ++txn->ready_count;
+  if (txn->ready_count < txn->num_cohorts()) {
+    if (txn->spec().exec_pattern == config::ExecPattern::kSequential) {
+      SendLoad(txn, txn->ready_count);  // next cohort in line
+    }
+    return;
+  }
+  // All cohorts done: enter the commit protocol with a globally unique
+  // certification timestamp (used by OPT).
+  txn->set_phase(TxnPhase::kPreparing);
+  txn->set_commit_ts(Timestamp{s_.sim->Now(), txn->id()});
+  SendPrepares(txn);
+}
+
+void CoordinatorService::SendPrepares(const TxnPtr& txn) {
+  int attempt = txn->attempt();
+  for (int i = 0; i < txn->num_cohorts(); ++i) {
+    NodeId node = txn->cohort_spec(i).node;
+    s_.network->Send(kHostNode, node, net::MsgTag::kPrepare,
+                     [this, txn, attempt, i] {
+                       cohorts_->HandlePrepare(txn, attempt, i);
+                     });
+  }
+}
+
+void CoordinatorService::OnVote(const TxnPtr& txn, int attempt,
+                                int cohort_index, cc::Vote vote) {
+  (void)cohort_index;
+  if (txn->IsStaleAttempt(attempt) || txn->phase() != TxnPhase::kPreparing)
+    return;
+  ++txn->votes_received;
+  if (vote == cc::Vote::kNo) {
+    BeginAbort(txn, AbortReason::kCertification);
+    return;
+  }
+  ++txn->yes_votes;
+  if (txn->votes_received == txn->num_cohorts()) {
+    txn->set_phase(TxnPhase::kCommitting);
+    SendCommits(txn);
+  }
+}
+
+void CoordinatorService::SendCommits(const TxnPtr& txn) {
+  int attempt = txn->attempt();
+  for (int i = 0; i < txn->num_cohorts(); ++i) {
+    NodeId node = txn->cohort_spec(i).node;
+    s_.network->Send(kHostNode, node, net::MsgTag::kCommit,
+                     [this, txn, attempt, i] {
+                       cohorts_->HandleCommit(txn, attempt, i);
+                     });
+  }
+}
+
+void CoordinatorService::OnCommitAck(const TxnPtr& txn, int attempt,
+                                     int cohort_index) {
+  (void)cohort_index;
+  CCSIM_CHECK(!txn->IsStaleAttempt(attempt));
+  CCSIM_CHECK(txn->phase() == TxnPhase::kCommitting);
+  ++txn->commit_acks;
+  if (txn->commit_acks == txn->num_cohorts()) FinalizeCommit(txn);
+}
+
+void CoordinatorService::FinalizeCommit(const TxnPtr& txn) {
+  txn->set_phase(TxnPhase::kCommitted);
+  ++commits_;
+  if (s_.on_commit) s_.on_commit(*txn);
+  txn->done->Complete(sim::Unit{});
+  live_.erase(txn->id());
+}
+
+void CoordinatorService::BeginAbort(const TxnPtr& txn, AbortReason reason) {
+  CCSIM_CHECK(txn->phase() == TxnPhase::kRunning ||
+              txn->phase() == TxnPhase::kPreparing);
+  txn->set_phase(TxnPhase::kAborting);
+  ++txn->total_aborts;
+  ++aborts_;
+  ++aborts_by_reason_[static_cast<std::size_t>(reason)];
+  if (s_.on_abort) s_.on_abort(*txn, reason);
+  if (txn->loads_sent == 0) {
+    // No cohort was ever loaded this attempt; nothing to clean up remotely.
+    ScheduleRestart(txn);
+    return;
+  }
+  int attempt = txn->attempt();
+  for (int i = 0; i < txn->num_cohorts(); ++i) {
+    if (!txn->cohort(i).load_sent) continue;
+    NodeId node = txn->cohort_spec(i).node;
+    s_.network->Send(kHostNode, node, net::MsgTag::kAbort,
+                     [this, txn, attempt, i] {
+                       cohorts_->HandleAbort(txn, attempt, i);
+                     });
+  }
+}
+
+void CoordinatorService::OnAbortAck(const TxnPtr& txn, int attempt,
+                                    int cohort_index) {
+  (void)cohort_index;
+  if (txn->IsStaleAttempt(attempt)) return;
+  CCSIM_CHECK(txn->phase() == TxnPhase::kAborting);
+  ++txn->abort_acks;
+  if (txn->abort_acks == txn->loads_sent) ScheduleRestart(txn);
+}
+
+void CoordinatorService::ScheduleRestart(const TxnPtr& txn) {
+  txn->set_phase(TxnPhase::kRestartWait);
+  double delay = s_.restart_delay ? s_.restart_delay() : 0.0;
+  s_.sim->After(delay, [this, txn] {
+    if (s_.regenerate_spec) {
+      txn->ReplaceSpec(s_.regenerate_spec(txn->spec()));
+    }
+    StartAttempt(txn, /*first_attempt=*/false);
+  });
+}
+
+void CoordinatorService::OnAbortRequest(const TxnPtr& txn, int attempt,
+                                        AbortReason reason) {
+  if (txn->IsStaleAttempt(attempt)) return;
+  if (txn->phase() != TxnPhase::kRunning &&
+      txn->phase() != TxnPhase::kPreparing) {
+    return;  // committing (wound not fatal), already aborting, or done
+  }
+  BeginAbort(txn, reason);
+}
+
+void CoordinatorService::OnCohortAborted(const TxnPtr& txn, int attempt,
+                                         AbortReason reason) {
+  OnAbortRequest(txn, attempt, reason);
+}
+
+}  // namespace ccsim::txn

@@ -1,0 +1,77 @@
+#ifndef CCSIM_TXN_COORDINATOR_H_
+#define CCSIM_TXN_COORDINATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "ccsim/sim/process.h"
+#include "ccsim/txn/cohort.h"
+#include "ccsim/txn/services.h"
+#include "ccsim/txn/transaction.h"
+#include "ccsim/workload/spec.h"
+
+namespace ccsim::txn {
+
+/// Host-side transaction management: one coordinator per transaction
+/// (Sec 2.1), implemented as an event-driven state machine over the phases
+/// in transaction.h. Runs the centralized two-phase commit protocol used by
+/// all four concurrency control algorithms, the abort protocol, and
+/// restart-after-one-average-response-time (Sec 3.3).
+///
+/// Message protocol per attempt and cohort:
+///   LOAD -> (cohort executes) -> READY        } parallel: all at once,
+///   PREPARE -> VOTE                           } sequential: LOAD chains
+///   COMMIT -> ACK   or   ABORT -> ACK
+/// Abort requests (deadlock victim, wound, snoop, cohort self-abort) are
+/// accepted in kRunning/kPreparing and ignored from kCommitting on - a
+/// transaction in the second phase of its commit protocol can no longer be
+/// aborted (the wound-wait rule of Sec 2.3).
+class CoordinatorService {
+ public:
+  CoordinatorService(Services services, CohortService* cohorts);
+
+  /// Admits a transaction; the returned completion fires when it commits.
+  std::shared_ptr<sim::Completion<sim::Unit>> Submit(
+      workload::TransactionSpec spec);
+
+  // Message-driven entry points (invoked at the host on delivery).
+  void OnCohortReady(const TxnPtr& txn, int attempt, int cohort_index);
+  void OnVote(const TxnPtr& txn, int attempt, int cohort_index, cc::Vote vote);
+  void OnCommitAck(const TxnPtr& txn, int attempt, int cohort_index);
+  void OnAbortAck(const TxnPtr& txn, int attempt, int cohort_index);
+  /// Abort raised by a CC manager somewhere in the machine.
+  void OnAbortRequest(const TxnPtr& txn, int attempt, AbortReason reason);
+  /// Abort raised by the transaction's own cohort (self-detected rejection).
+  void OnCohortAborted(const TxnPtr& txn, int attempt, AbortReason reason);
+
+  std::size_t live_transactions() const { return live_.size(); }
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t aborts() const { return aborts_; }
+  std::uint64_t aborts_by_reason(AbortReason r) const {
+    return aborts_by_reason_[static_cast<std::size_t>(r)];
+  }
+
+ private:
+  void StartAttempt(const TxnPtr& txn, bool first_attempt);
+  sim::Process StartAttemptProcess(TxnPtr txn, bool first_attempt);
+  void SendLoad(const TxnPtr& txn, int cohort_index);
+  void SendPrepares(const TxnPtr& txn);
+  void SendCommits(const TxnPtr& txn);
+  void BeginAbort(const TxnPtr& txn, AbortReason reason);
+  void FinalizeCommit(const TxnPtr& txn);
+  void ScheduleRestart(const TxnPtr& txn);
+
+  Services s_;
+  CohortService* cohorts_;
+  TxnId next_id_ = 1;
+  std::unordered_map<TxnId, TxnPtr> live_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::array<std::uint64_t, kNumAbortReasons> aborts_by_reason_{};
+};
+
+}  // namespace ccsim::txn
+
+#endif  // CCSIM_TXN_COORDINATOR_H_

@@ -1,0 +1,69 @@
+#include "ccsim/txn/transaction.h"
+
+#include <utility>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::txn {
+
+const char* ToString(TxnPhase phase) {
+  switch (phase) {
+    case TxnPhase::kRunning: return "running";
+    case TxnPhase::kPreparing: return "preparing";
+    case TxnPhase::kCommitting: return "committing";
+    case TxnPhase::kAborting: return "aborting";
+    case TxnPhase::kRestartWait: return "restart-wait";
+    case TxnPhase::kCommitted: return "committed";
+  }
+  return "?";
+}
+
+const char* ToString(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kLocalDeadlock: return "local-deadlock";
+    case AbortReason::kGlobalDeadlock: return "global-deadlock";
+    case AbortReason::kWound: return "wound";
+    case AbortReason::kTimestampOrder: return "timestamp-order";
+    case AbortReason::kCertification: return "certification";
+    case AbortReason::kDie: return "die";
+    case AbortReason::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+Transaction::Transaction(TxnId id, workload::TransactionSpec spec,
+                         sim::SimTime origin_time,
+                         std::shared_ptr<sim::Completion<sim::Unit>> done)
+    : done(std::move(done)),
+      id_(id),
+      origin_time_(origin_time),
+      spec_(std::move(spec)),
+      cohorts_(spec_.cohorts.size()) {
+  CCSIM_CHECK(!spec_.cohorts.empty());
+}
+
+void Transaction::ReplaceSpec(workload::TransactionSpec spec) {
+  CCSIM_CHECK_MSG(phase_ == TxnPhase::kRestartWait,
+                  "spec replaced mid-attempt");
+  CCSIM_CHECK(!spec.cohorts.empty());
+  spec_ = std::move(spec);
+  cohorts_.assign(spec_.cohorts.size(), CohortRuntime{});
+}
+
+void Transaction::BeginAttempt(sim::SimTime attempt_time) {
+  ++attempt_;
+  attempt_start_time_ = attempt_time;
+  attempt_ts_ = Timestamp{attempt_time, id_};
+  if (attempt_ == 0) initial_ts_ = attempt_ts_;
+  phase_ = TxnPhase::kRunning;
+  for (auto& c : cohorts_) c = CohortRuntime{};
+  loads_sent = 0;
+  ready_count = 0;
+  votes_received = 0;
+  yes_votes = 0;
+  commit_acks = 0;
+  abort_acks = 0;
+  audit.clear();
+}
+
+}  // namespace ccsim::txn

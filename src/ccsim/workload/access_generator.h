@@ -1,0 +1,43 @@
+#ifndef CCSIM_WORKLOAD_ACCESS_GENERATOR_H_
+#define CCSIM_WORKLOAD_ACCESS_GENERATOR_H_
+
+#include "ccsim/config/params.h"
+#include "ccsim/db/catalog.h"
+#include "ccsim/sim/random.h"
+#include "ccsim/workload/spec.h"
+
+namespace ccsim::workload {
+
+/// Draws transaction access sets per the paper's workload model (Sec 3.2,
+/// Sec 4.1): a transaction accesses every partition of one relation, reading
+/// a uniformly spread number of distinct pages from each partition and
+/// updating each read page with probability WriteProb. Accesses are grouped
+/// into one cohort per node holding any of the touched partitions.
+class AccessGenerator {
+ public:
+  AccessGenerator(const config::WorkloadParams* workload,
+                  const db::Catalog* catalog);
+
+  /// Draws a fresh transaction for `terminal`, consuming variates from `rng`
+  /// (the terminal's own stream).
+  TransactionSpec Generate(int terminal, sim::RandomStream& rng) const;
+
+  /// Which transaction class a terminal belongs to (ClassFrac splits the
+  /// terminal population proportionally, in class order).
+  int ClassOfTerminal(int terminal) const;
+
+  /// Which relation a terminal's transactions access under
+  /// RelationChoice::kByTerminalGroup.
+  int GroupRelationOfTerminal(int terminal) const;
+
+ private:
+  int DrawPageCount(const config::TransactionClassParams& cls,
+                    sim::RandomStream& rng) const;
+
+  const config::WorkloadParams* workload_;
+  const db::Catalog* catalog_;
+};
+
+}  // namespace ccsim::workload
+
+#endif  // CCSIM_WORKLOAD_ACCESS_GENERATOR_H_

@@ -1,0 +1,47 @@
+#include "ccsim/workload/source.h"
+
+#include <utility>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::workload {
+
+namespace {
+// RandomStream id space reserved for terminals (see DESIGN.md Sec 5).
+constexpr std::uint64_t kTerminalStreamBase = 100000;
+}  // namespace
+
+Source::Source(sim::Simulation* sim, const config::SystemConfig* config,
+               const db::Catalog* catalog, SubmitFn submit)
+    : sim_(sim),
+      config_(config),
+      generator_(&config->workload, catalog),
+      submit_(std::move(submit)) {
+  int n = config_->workload.num_terminals;
+  terminal_rngs_.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    terminal_rngs_.push_back(std::make_unique<sim::RandomStream>(
+        config_->run.seed, kTerminalStreamBase + static_cast<std::uint64_t>(t)));
+  }
+}
+
+void Source::Start() {
+  CCSIM_CHECK_MSG(!started_, "Source started twice");
+  started_ = true;
+  for (int t = 0; t < config_->workload.num_terminals; ++t) {
+    TerminalProcess(t);
+  }
+}
+
+sim::Process Source::TerminalProcess(int terminal) {
+  auto& rng = *terminal_rngs_[static_cast<std::size_t>(terminal)];
+  for (;;) {
+    co_await sim_->Delay(rng.Exponential(config_->workload.think_time_sec));
+    TransactionSpec spec = generator_.Generate(terminal, rng);
+    ++submitted_;
+    auto done = submit_(std::move(spec));
+    co_await sim::Await(std::move(done));
+  }
+}
+
+}  // namespace ccsim::workload

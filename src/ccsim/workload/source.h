@@ -1,0 +1,56 @@
+#ifndef CCSIM_WORKLOAD_SOURCE_H_
+#define CCSIM_WORKLOAD_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ccsim/config/params.h"
+#include "ccsim/db/catalog.h"
+#include "ccsim/sim/completion.h"
+#include "ccsim/sim/process.h"
+#include "ccsim/sim/random.h"
+#include "ccsim/sim/simulation.h"
+#include "ccsim/workload/access_generator.h"
+#include "ccsim/workload/spec.h"
+
+namespace ccsim::workload {
+
+/// The source component of the host node (Sec 3.2): a closed population of
+/// terminals. Each terminal thinks for an exponential period, submits a
+/// transaction, and waits for it to complete successfully before thinking
+/// again.
+class Source {
+ public:
+  /// Called to hand a transaction to the transaction manager. Returns a
+  /// completion that fires when the transaction has committed (after any
+  /// number of abort/restart cycles).
+  using SubmitFn = std::function<std::shared_ptr<sim::Completion<sim::Unit>>(
+      TransactionSpec spec)>;
+
+  Source(sim::Simulation* sim, const config::SystemConfig* config,
+         const db::Catalog* catalog, SubmitFn submit);
+
+  /// Spawns one process per terminal. Call once, before running.
+  void Start();
+
+  std::uint64_t transactions_submitted() const { return submitted_; }
+
+  const AccessGenerator& generator() const { return generator_; }
+
+ private:
+  sim::Process TerminalProcess(int terminal);
+
+  sim::Simulation* sim_;
+  const config::SystemConfig* config_;
+  AccessGenerator generator_;
+  SubmitFn submit_;
+  std::vector<std::unique_ptr<sim::RandomStream>> terminal_rngs_;
+  std::uint64_t submitted_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace ccsim::workload
+
+#endif  // CCSIM_WORKLOAD_SOURCE_H_

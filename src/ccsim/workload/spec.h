@@ -1,0 +1,53 @@
+#ifndef CCSIM_WORKLOAD_SPEC_H_
+#define CCSIM_WORKLOAD_SPEC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ccsim/common/types.h"
+#include "ccsim/config/params.h"
+
+namespace ccsim::workload {
+
+/// One page access a cohort will perform, in execution order.
+struct PageAccess {
+  PageRef page;
+  bool is_write = false;  // read that will also be updated (WriteProb)
+};
+
+/// The work of one cohort: all accesses target data local to `node`.
+struct CohortSpec {
+  NodeId node = 0;
+  std::vector<PageAccess> accesses;
+
+  std::size_t num_writes() const {
+    std::size_t n = 0;
+    for (const auto& a : accesses) n += a.is_write ? 1 : 0;
+    return n;
+  }
+};
+
+/// A complete transaction as drawn by the source. Restarted attempts re-run
+/// the same spec (same pages, same update marks), per [Agra87a].
+struct TransactionSpec {
+  int terminal = 0;
+  int class_index = 0;
+  int relation = 0;
+  config::ExecPattern exec_pattern = config::ExecPattern::kParallel;
+  std::vector<CohortSpec> cohorts;
+
+  std::size_t total_reads() const {
+    std::size_t n = 0;
+    for (const auto& c : cohorts) n += c.accesses.size();
+    return n;
+  }
+  std::size_t total_writes() const {
+    std::size_t n = 0;
+    for (const auto& c : cohorts) n += c.num_writes();
+    return n;
+  }
+};
+
+}  // namespace ccsim::workload
+
+#endif  // CCSIM_WORKLOAD_SPEC_H_

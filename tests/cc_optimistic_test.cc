@@ -1,0 +1,188 @@
+#include "ccsim/cc/optimistic.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ccsim::cc {
+namespace {
+
+using test::FakeCcContext;
+using test::MakeTxn;
+
+class OptimisticTest : public ::testing::Test {
+ protected:
+  OptimisticTest() : mgr_(&ctx_, /*node=*/1) {}
+
+  void Certify(const txn::TxnPtr& t, double at) {
+    t->set_commit_ts(Timestamp{at, t->id()});
+  }
+
+  /// Prepares and unwraps the (immediately available) vote.
+  Vote PrepareVote(const txn::TxnPtr& t, int cohort) {
+    auto c = mgr_.Prepare(t, cohort);
+    EXPECT_TRUE(c->done());
+    return c->TakeValue();
+  }
+
+  FakeCcContext ctx_;
+  OptimisticManager mgr_;
+  PageRef p1_{0, 1};
+  PageRef p2_{0, 2};
+};
+
+TEST_F(OptimisticTest, ExecutionNeverBlocksOrAborts) {
+  auto t1 = MakeTxn(1, 1, {p1_}, 0b1, 1.0);
+  auto t2 = MakeTxn(2, 1, {p1_}, 0b1, 1.0);
+  for (auto& t : {t1, t2}) {
+    auto c = mgr_.RequestAccess(t, 0, p1_, AccessMode::kWrite);
+    ASSERT_TRUE(c->done());
+    EXPECT_EQ(c->TakeValue(), AccessOutcome::kGranted);
+  }
+}
+
+TEST_F(OptimisticTest, LoneTransactionCertifiesAndCommits) {
+  auto t = MakeTxn(1, 1, {p1_, p2_}, 0b10, 1.0);
+  mgr_.RequestAccess(t, 0, p1_, AccessMode::kRead);
+  mgr_.RequestAccess(t, 0, p2_, AccessMode::kWrite);
+  Certify(t, 2.0);
+  EXPECT_EQ(PrepareVote(t, 0), Vote::kYes);
+  ctx_.audits.clear();
+  mgr_.CommitCohort(t, 0);
+  ASSERT_EQ(ctx_.audits.size(), 1u);
+  EXPECT_EQ(ctx_.audits[0].kind, FakeCcContext::AuditCall::kInstall);
+  EXPECT_EQ(ctx_.audits[0].page, p2_);
+}
+
+TEST_F(OptimisticTest, StaleReadFailsCertification) {
+  auto reader = MakeTxn(1, 1, {p1_}, 0, 1.0);
+  auto writer = MakeTxn(2, 1, {p1_}, 0b1, 1.5);
+  mgr_.RequestAccess(reader, 0, p1_, AccessMode::kRead);  // version 0
+  mgr_.RequestAccess(writer, 0, p1_, AccessMode::kWrite);
+  Certify(writer, 2.0);
+  ASSERT_EQ(PrepareVote(writer, 0), Vote::kYes);
+  mgr_.CommitCohort(writer, 0);  // installs a new version
+  Certify(reader, 3.0);
+  EXPECT_EQ(PrepareVote(reader, 0), Vote::kNo);  // version changed
+  EXPECT_EQ(mgr_.certification_failures(), 1u);
+}
+
+TEST_F(OptimisticTest, ReadFailsAgainstInDoubtWrite) {
+  auto reader = MakeTxn(1, 1, {p1_}, 0, 1.0);
+  auto writer = MakeTxn(2, 1, {p1_}, 0b1, 1.5);
+  mgr_.RequestAccess(reader, 0, p1_, AccessMode::kRead);
+  mgr_.RequestAccess(writer, 0, p1_, AccessMode::kWrite);
+  Certify(writer, 2.0);
+  ASSERT_EQ(PrepareVote(writer, 0), Vote::kYes);  // in doubt, not committed
+  Certify(reader, 3.0);
+  EXPECT_EQ(PrepareVote(reader, 0), Vote::kNo);
+}
+
+TEST_F(OptimisticTest, WriteFailsAgainstLaterCommittedRead) {
+  auto writer = MakeTxn(1, 1, {p1_}, 0b1, 1.0);
+  auto reader = MakeTxn(2, 1, {p1_}, 0, 1.5);
+  mgr_.RequestAccess(writer, 0, p1_, AccessMode::kWrite);
+  mgr_.RequestAccess(reader, 0, p1_, AccessMode::kRead);
+  Certify(reader, 5.0);
+  ASSERT_EQ(PrepareVote(reader, 0), Vote::kYes);
+  mgr_.CommitCohort(reader, 0);  // rts = 5
+  Certify(writer, 3.0);          // earlier than the committed read
+  EXPECT_EQ(PrepareVote(writer, 0), Vote::kNo);
+}
+
+TEST_F(OptimisticTest, WriteFailsAgainstLaterInDoubtRead) {
+  auto writer = MakeTxn(1, 1, {p1_}, 0b1, 1.0);
+  auto reader = MakeTxn(2, 1, {p1_}, 0, 1.5);
+  mgr_.RequestAccess(writer, 0, p1_, AccessMode::kWrite);
+  mgr_.RequestAccess(reader, 0, p1_, AccessMode::kRead);
+  Certify(reader, 5.0);
+  ASSERT_EQ(PrepareVote(reader, 0), Vote::kYes);  // in doubt
+  Certify(writer, 3.0);
+  EXPECT_EQ(PrepareVote(writer, 0), Vote::kNo);
+}
+
+TEST_F(OptimisticTest, WriteSucceedsAgainstEarlierCommittedRead) {
+  auto reader = MakeTxn(1, 1, {p1_}, 0, 1.0);
+  auto writer = MakeTxn(2, 1, {p1_}, 0b1, 1.5);
+  mgr_.RequestAccess(reader, 0, p1_, AccessMode::kRead);
+  mgr_.RequestAccess(writer, 0, p1_, AccessMode::kWrite);
+  Certify(reader, 2.0);
+  ASSERT_EQ(PrepareVote(reader, 0), Vote::kYes);
+  mgr_.CommitCohort(reader, 0);  // rts = 2
+  Certify(writer, 3.0);          // after the read: fine
+  EXPECT_EQ(PrepareVote(writer, 0), Vote::kYes);
+}
+
+TEST_F(OptimisticTest, AbortClearsInDoubtEntries) {
+  auto writer = MakeTxn(1, 1, {p1_}, 0b1, 1.0);
+  auto reader = MakeTxn(2, 1, {p1_}, 0, 1.5);
+  mgr_.RequestAccess(writer, 0, p1_, AccessMode::kWrite);
+  Certify(writer, 2.0);
+  ASSERT_EQ(PrepareVote(writer, 0), Vote::kYes);
+  mgr_.AbortCohort(writer, 0);  // certification entries cleared
+  mgr_.RequestAccess(reader, 0, p1_, AccessMode::kRead);
+  Certify(reader, 3.0);
+  EXPECT_EQ(PrepareVote(reader, 0), Vote::kYes);
+}
+
+TEST_F(OptimisticTest, AbortBeforeCertificationIsClean) {
+  auto t = MakeTxn(1, 1, {p1_}, 0b1, 1.0);
+  mgr_.RequestAccess(t, 0, p1_, AccessMode::kWrite);
+  mgr_.AbortCohort(t, 0);  // never certified
+  auto t2 = MakeTxn(2, 1, {p1_}, 0, 1.5);
+  mgr_.RequestAccess(t2, 0, p1_, AccessMode::kRead);
+  Certify(t2, 2.0);
+  EXPECT_EQ(PrepareVote(t2, 0), Vote::kYes);
+}
+
+TEST_F(OptimisticTest, CommitBumpsReadTimestampOnly) {
+  auto reader = MakeTxn(1, 1, {p1_}, 0, 1.0);
+  mgr_.RequestAccess(reader, 0, p1_, AccessMode::kRead);
+  Certify(reader, 4.0);
+  ASSERT_EQ(PrepareVote(reader, 0), Vote::kYes);
+  ctx_.audits.clear();
+  mgr_.CommitCohort(reader, 0);
+  EXPECT_TRUE(ctx_.audits.empty());  // no install for a pure read
+  // A writer behind the committed read must fail.
+  auto writer = MakeTxn(2, 1, {p1_}, 0b1, 1.5);
+  mgr_.RequestAccess(writer, 0, p1_, AccessMode::kWrite);
+  Certify(writer, 3.0);
+  EXPECT_EQ(PrepareVote(writer, 0), Vote::kNo);
+}
+
+TEST_F(OptimisticTest, ObsoleteWriteSkipsInstall) {
+  auto w_new = MakeTxn(1, 1, {p1_}, 0b1, 1.0);
+  auto w_old = MakeTxn(2, 1, {p1_}, 0b1, 1.5);
+  mgr_.RequestAccess(w_new, 0, p1_, AccessMode::kWrite);
+  mgr_.RequestAccess(w_old, 0, p1_, AccessMode::kWrite);
+  Certify(w_new, 9.0);
+  ASSERT_EQ(PrepareVote(w_new, 0), Vote::kYes);
+  mgr_.CommitCohort(w_new, 0);  // wts = 9
+  Certify(w_old, 3.0);
+  ASSERT_EQ(PrepareVote(w_old, 0), Vote::kYes);  // blind write, rts = 0
+  ctx_.audits.clear();
+  mgr_.CommitCohort(w_old, 0);
+  ASSERT_EQ(ctx_.audits.size(), 1u);
+  EXPECT_EQ(ctx_.audits[0].kind, FakeCcContext::AuditCall::kSkip);
+}
+
+TEST_F(OptimisticTest, ReadsAuditAtAccessTime) {
+  auto t = MakeTxn(1, 1, {p1_}, 0, 1.0);
+  mgr_.RequestAccess(t, 0, p1_, AccessMode::kRead);
+  ASSERT_EQ(ctx_.audits.size(), 1u);
+  EXPECT_EQ(ctx_.audits[0].kind, FakeCcContext::AuditCall::kRead);
+}
+
+TEST_F(OptimisticTest, DisjointPagesBothCertify) {
+  auto t1 = MakeTxn(1, 1, {p1_}, 0b1, 1.0);
+  auto t2 = MakeTxn(2, 1, {p2_}, 0b1, 1.0);
+  mgr_.RequestAccess(t1, 0, p1_, AccessMode::kWrite);
+  mgr_.RequestAccess(t2, 0, p2_, AccessMode::kWrite);
+  Certify(t1, 2.0);
+  Certify(t2, 2.5);
+  EXPECT_EQ(PrepareVote(t1, 0), Vote::kYes);
+  EXPECT_EQ(PrepareVote(t2, 0), Vote::kYes);
+}
+
+}  // namespace
+}  // namespace ccsim::cc

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "ccsim/db/catalog.h"
+#include "ccsim/db/placement.h"
+
+namespace ccsim::db {
+namespace {
+
+config::DatabaseParams PaperDb() {
+  config::DatabaseParams db;
+  db.num_relations = 8;
+  db.partitions_per_relation = 8;
+  db.pages_per_file = 300;
+  return db;
+}
+
+TEST(Placement, OneWayPutsWholeRelationOnOneNode) {
+  auto map = ComputePlacement(PaperDb(), 8, 1);
+  // Relation r entirely at node r+1; relations spread across distinct nodes.
+  for (int r = 0; r < 8; ++r) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(map[static_cast<size_t>(r * 8 + j)], r + 1);
+    }
+  }
+}
+
+TEST(Placement, EightWaySpreadsEachRelationOverAllNodes) {
+  auto map = ComputePlacement(PaperDb(), 8, 8);
+  for (int r = 0; r < 8; ++r) {
+    std::set<NodeId> nodes;
+    for (int j = 0; j < 8; ++j) nodes.insert(map[static_cast<size_t>(r * 8 + j)]);
+    EXPECT_EQ(nodes.size(), 8u);
+  }
+}
+
+TEST(Placement, FourWayUsesStrideTwo) {
+  auto map = ComputePlacement(PaperDb(), 8, 4);
+  // Relation 0: partitions 0-1 -> node 1, 2-3 -> node 3, 4-5 -> node 5,
+  // 6-7 -> node 7 (Sec 4.4: R_i at S_i, S_i+2, S_i+4, S_i+6).
+  EXPECT_EQ(map[0], 1);
+  EXPECT_EQ(map[1], 1);
+  EXPECT_EQ(map[2], 3);
+  EXPECT_EQ(map[3], 3);
+  EXPECT_EQ(map[4], 5);
+  EXPECT_EQ(map[5], 5);
+  EXPECT_EQ(map[6], 7);
+  EXPECT_EQ(map[7], 7);
+  // Relation 1 offsets by one node.
+  EXPECT_EQ(map[8], 2);
+  EXPECT_EQ(map[14], 8);
+}
+
+TEST(Placement, TwoWaySplitsHalfAndHalf) {
+  auto map = ComputePlacement(PaperDb(), 8, 2);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(map[static_cast<size_t>(j)], 1);
+  for (int j = 4; j < 8; ++j) EXPECT_EQ(map[static_cast<size_t>(j)], 5);
+}
+
+TEST(Placement, EveryDegreeBalancesLoadAcrossNodes) {
+  for (int degree : {1, 2, 4, 8}) {
+    auto map = ComputePlacement(PaperDb(), 8, degree);
+    std::vector<int> per_node(9, 0);
+    for (NodeId n : map) ++per_node[static_cast<size_t>(n)];
+    for (int n = 1; n <= 8; ++n) {
+      EXPECT_EQ(per_node[static_cast<size_t>(n)], 8)
+          << "degree " << degree << " node " << n;
+    }
+  }
+}
+
+TEST(Placement, ScalingConfigurationsUseAllNodes) {
+  // Experiment 1: degree == machine size.
+  for (int nodes : {1, 2, 4, 8}) {
+    auto map = ComputePlacement(PaperDb(), nodes, nodes);
+    std::set<NodeId> used(map.begin(), map.end());
+    EXPECT_EQ(static_cast<int>(used.size()), nodes);
+    // Every relation touches every node (a transaction then has one cohort
+    // per node).
+    for (int r = 0; r < 8; ++r) {
+      std::set<NodeId> rel_nodes;
+      for (int j = 0; j < 8; ++j)
+        rel_nodes.insert(map[static_cast<size_t>(r * 8 + j)]);
+      EXPECT_EQ(static_cast<int>(rel_nodes.size()), nodes);
+    }
+  }
+}
+
+TEST(Placement, NodesAreOneBased) {
+  auto map = ComputePlacement(PaperDb(), 4, 4);
+  for (NodeId n : map) {
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 4);
+  }
+}
+
+TEST(PlacementDeathTest, RejectsNonDividingDegree) {
+  EXPECT_DEATH(ComputePlacement(PaperDb(), 8, 3), "");
+  EXPECT_DEATH(ComputePlacement(PaperDb(), 6, 4), "");
+}
+
+TEST(Catalog, ShapeAccessors) {
+  Catalog cat(PaperDb(), ComputePlacement(PaperDb(), 8, 8));
+  EXPECT_EQ(cat.num_relations(), 8);
+  EXPECT_EQ(cat.partitions_per_relation(), 8);
+  EXPECT_EQ(cat.num_files(), 64);
+  EXPECT_EQ(cat.pages_per_file(), 300);
+}
+
+TEST(Catalog, FileRelationMapping) {
+  Catalog cat(PaperDb(), ComputePlacement(PaperDb(), 8, 8));
+  EXPECT_EQ(cat.RelationOfFile(0), 0);
+  EXPECT_EQ(cat.RelationOfFile(7), 0);
+  EXPECT_EQ(cat.RelationOfFile(8), 1);
+  EXPECT_EQ(cat.RelationOfFile(63), 7);
+  EXPECT_EQ(cat.FileOf(3, 5), 29);
+  EXPECT_EQ(cat.RelationOfFile(cat.FileOf(3, 5)), 3);
+}
+
+TEST(Catalog, FilesOfRelationInPartitionOrder) {
+  Catalog cat(PaperDb(), ComputePlacement(PaperDb(), 8, 8));
+  auto files = cat.FilesOfRelation(2);
+  ASSERT_EQ(files.size(), 8u);
+  for (int j = 0; j < 8; ++j) EXPECT_EQ(files[static_cast<size_t>(j)], 16 + j);
+}
+
+TEST(Catalog, NodesOfRelationMatchesDegree) {
+  for (int degree : {1, 2, 4, 8}) {
+    Catalog cat(PaperDb(), ComputePlacement(PaperDb(), 8, degree));
+    for (int r = 0; r < 8; ++r) {
+      EXPECT_EQ(static_cast<int>(cat.NodesOfRelation(r).size()), degree);
+    }
+  }
+}
+
+TEST(Catalog, NodeOfPageFollowsFile) {
+  Catalog cat(PaperDb(), ComputePlacement(PaperDb(), 8, 1));
+  PageRef p{9, 250};  // file 9 = relation 1 -> node 2
+  EXPECT_EQ(cat.NodeOfPage(p), 2);
+}
+
+TEST(PageRef, KeyIsInjectiveAcrossFilesAndPages) {
+  PageRef a{1, 2}, b{2, 1}, c{1, 3};
+  EXPECT_NE(a.Key(), b.Key());
+  EXPECT_NE(a.Key(), c.Key());
+  EXPECT_EQ(a.Key(), (PageRef{1, 2}).Key());
+}
+
+TEST(Timestamp, LexicographicOrdering) {
+  Timestamp a{1.0, 5}, b{1.0, 6}, c{2.0, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_LT(a, c);
+  EXPECT_GT(c, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(a, a);
+  EXPECT_LT(kTimestampZero, a);
+}
+
+}  // namespace
+}  // namespace ccsim::db

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "ccsim/experiments/cache.h"
+#include "ccsim/experiments/experiments.h"
+#include "ccsim/experiments/report.h"
+#include "ccsim/experiments/sweep.h"
+#include "test_util.h"
+
+namespace ccsim::experiments {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("ccsim_cache_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  static int counter_;
+  std::filesystem::path path_;
+};
+int TempDir::counter_ = 0;
+
+engine::RunResult SampleResult() {
+  engine::RunResult r;
+  r.throughput = 10.25;
+  r.mean_response_time = 4.5;
+  r.rt_ci_half_width = 0.25;
+  r.max_response_time = 31.0;
+  r.commits = 3069;
+  r.aborts = 641;
+  r.abort_ratio = 0.2088;
+  r.host_cpu_util = 0.06;
+  r.proc_cpu_util = 0.90;
+  r.disk_util = 0.92;
+  r.mean_blocking_time = 1.28;
+  r.blocked_waits = 5120;
+  r.messages_per_commit = 55.6;
+  r.transactions_submitted = 3200;
+  r.live_at_end = 62;
+  r.events = 2010117;
+  r.sim_seconds = 350;
+  r.wall_seconds = 0.9;
+  r.audited = true;
+  r.serializable = true;
+  return r;
+}
+
+TEST(ResultSerialization, RoundTripsAllFields) {
+  engine::RunResult r = SampleResult();
+  auto parsed = ParseResult(SerializeResult(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->throughput, r.throughput);
+  EXPECT_DOUBLE_EQ(parsed->mean_response_time, r.mean_response_time);
+  EXPECT_DOUBLE_EQ(parsed->rt_ci_half_width, r.rt_ci_half_width);
+  EXPECT_DOUBLE_EQ(parsed->max_response_time, r.max_response_time);
+  EXPECT_EQ(parsed->commits, r.commits);
+  EXPECT_EQ(parsed->aborts, r.aborts);
+  EXPECT_DOUBLE_EQ(parsed->abort_ratio, r.abort_ratio);
+  EXPECT_DOUBLE_EQ(parsed->host_cpu_util, r.host_cpu_util);
+  EXPECT_DOUBLE_EQ(parsed->proc_cpu_util, r.proc_cpu_util);
+  EXPECT_DOUBLE_EQ(parsed->disk_util, r.disk_util);
+  EXPECT_DOUBLE_EQ(parsed->mean_blocking_time, r.mean_blocking_time);
+  EXPECT_EQ(parsed->blocked_waits, r.blocked_waits);
+  EXPECT_DOUBLE_EQ(parsed->messages_per_commit, r.messages_per_commit);
+  EXPECT_EQ(parsed->transactions_submitted, r.transactions_submitted);
+  EXPECT_EQ(parsed->live_at_end, r.live_at_end);
+  EXPECT_EQ(parsed->events, r.events);
+  EXPECT_DOUBLE_EQ(parsed->sim_seconds, r.sim_seconds);
+  EXPECT_TRUE(parsed->audited);
+  EXPECT_TRUE(parsed->serializable);
+}
+
+TEST(ResultSerialization, RejectsGarbage) {
+  EXPECT_FALSE(ParseResult("").has_value());
+  EXPECT_FALSE(ParseResult("throughput abc").has_value());
+  EXPECT_FALSE(ParseResult("throughput 1.0").has_value());  // too few fields
+}
+
+TEST(ResultCache, MissThenHit) {
+  TempDir dir;
+  ResultCache cache(dir.str());
+  auto cfg = test::SmallConfig(config::CcAlgorithm::kNoDc, 5.0);
+  EXPECT_FALSE(cache.Load(cfg).has_value());
+  cache.Store(cfg, SampleResult());
+  auto hit = cache.Load(cfg);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->throughput, 10.25);
+}
+
+TEST(ResultCache, DistinguishesConfigs) {
+  TempDir dir;
+  ResultCache cache(dir.str());
+  auto cfg1 = test::SmallConfig(config::CcAlgorithm::kNoDc, 5.0);
+  auto cfg2 = test::SmallConfig(config::CcAlgorithm::kNoDc, 6.0);
+  cache.Store(cfg1, SampleResult());
+  EXPECT_TRUE(cache.Load(cfg1).has_value());
+  EXPECT_FALSE(cache.Load(cfg2).has_value());
+}
+
+TEST(ResultCache, GetOrRunRunsOnceThenReuses) {
+  TempDir dir;
+  ResultCache cache(dir.str());
+  auto cfg = test::SmallConfig(config::CcAlgorithm::kNoDc, 5.0);
+  cfg.run.warmup_sec = 5;
+  cfg.run.measure_sec = 20;
+  auto first = cache.GetOrRun(cfg);
+  auto second = cache.GetOrRun(cfg);
+  EXPECT_EQ(first.commits, second.commits);
+  EXPECT_DOUBLE_EQ(first.mean_response_time, second.mean_response_time);
+}
+
+TEST(Experiments, ThinkTimeGridsMatchPaperRange) {
+  auto grid = PaperThinkTimes();
+  EXPECT_EQ(grid.front(), 0.0);
+  EXPECT_EQ(grid.back(), 120.0);
+  EXPECT_GE(grid.size(), 10u);
+  auto fine = FineThinkTimes();
+  EXPECT_GT(fine.size(), grid.size());
+}
+
+TEST(Experiments, Exp1MatchesSection42) {
+  auto cfg = Exp1Config(8, config::CcAlgorithm::kOptimistic, 12.0);
+  EXPECT_EQ(cfg.Validate(), "");
+  EXPECT_EQ(cfg.machine.num_proc_nodes, 8);
+  EXPECT_EQ(cfg.placement.degree, 8);
+  EXPECT_EQ(cfg.database.pages_per_file, 300);
+  EXPECT_EQ(cfg.algorithm, config::CcAlgorithm::kOptimistic);
+  EXPECT_DOUBLE_EQ(cfg.workload.think_time_sec, 12.0);
+  EXPECT_DOUBLE_EQ(cfg.costs.inst_per_startup, 2000);
+  EXPECT_DOUBLE_EQ(cfg.costs.inst_per_msg, 1000);
+
+  for (int nodes : {1, 2, 4, 8}) {
+    EXPECT_EQ(Exp1Config(nodes, config::CcAlgorithm::kNoDc, 0).Validate(), "");
+  }
+}
+
+TEST(Experiments, Exp2MatchesSection43) {
+  for (int degree : {1, 8}) {
+    for (int pages : {300, 1200}) {
+      auto cfg =
+          Exp2Config(degree, pages, config::CcAlgorithm::kTwoPhaseLocking, 8);
+      EXPECT_EQ(cfg.Validate(), "");
+      EXPECT_EQ(cfg.machine.num_proc_nodes, 8);
+      EXPECT_EQ(cfg.placement.degree, degree);
+      EXPECT_EQ(cfg.database.pages_per_file, pages);
+    }
+  }
+}
+
+TEST(Experiments, Exp3MatchesSection44) {
+  for (int degree : {1, 2, 4, 8}) {
+    auto cfg = Exp3Config(degree, 0, 4000, config::CcAlgorithm::kWoundWait, 0);
+    EXPECT_EQ(cfg.Validate(), "");
+    EXPECT_DOUBLE_EQ(cfg.costs.inst_per_startup, 0);
+    EXPECT_DOUBLE_EQ(cfg.costs.inst_per_msg, 4000);
+    EXPECT_EQ(cfg.database.pages_per_file, 300);
+  }
+}
+
+TEST(Sweep, RunGridProducesAllPointsAndCaches) {
+  TempDir dir;
+  ResultCache cache(dir.str());
+  std::vector<config::CcAlgorithm> algs{config::CcAlgorithm::kNoDc};
+  std::vector<double> xs{2.0, 5.0};
+  int built = 0;
+  auto make = [&](config::CcAlgorithm alg, double x) {
+    ++built;
+    auto cfg = test::SmallConfig(alg, x);
+    cfg.run.warmup_sec = 5;
+    cfg.run.measure_sec = 20;
+    return cfg;
+  };
+  auto points = RunGrid(cache, algs, xs, make, /*verbose=*/false);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GT(At(points, config::CcAlgorithm::kNoDc, 2.0).commits, 0u);
+  // Second pass: all hits, identical values.
+  auto again = RunGrid(cache, algs, xs, make, false);
+  EXPECT_EQ(At(again, config::CcAlgorithm::kNoDc, 5.0).commits,
+            At(points, config::CcAlgorithm::kNoDc, 5.0).commits);
+}
+
+TEST(Report, TableContainsAlgorithmsAndValues) {
+  std::ostringstream out;
+  PrintTable(out, "Figure X", "think", {0.0, 8.0},
+             {config::CcAlgorithm::kTwoPhaseLocking,
+              config::CcAlgorithm::kOptimistic},
+             [](config::CcAlgorithm alg, double x) {
+               return (alg == config::CcAlgorithm::kOptimistic ? 100.0 : 1.0) +
+                      x;
+             });
+  std::string text = out.str();
+  EXPECT_NE(text.find("Figure X"), std::string::npos);
+  EXPECT_NE(text.find("2PL"), std::string::npos);
+  EXPECT_NE(text.find("OPT"), std::string::npos);
+  EXPECT_NE(text.find("108.000"), std::string::npos);
+  EXPECT_NE(text.find("1.000"), std::string::npos);
+}
+
+TEST(Report, CsvShape) {
+  std::ostringstream out;
+  PrintCsv(out, "x", {1.0}, {config::CcAlgorithm::kWoundWait},
+           [](config::CcAlgorithm, double) { return 2.5; });
+  EXPECT_EQ(out.str(), "x,WW\n1,2.5\n");
+}
+
+TEST(Report, WriteCsvFileCreatesDirectoriesAndContent) {
+  TempDir dir;
+  std::string path = dir.str() + "/nested/fig.csv";
+  ASSERT_TRUE(WriteCsvFile(path, "x", {3.0},
+                           {config::CcAlgorithm::kTwoPhaseLocking},
+                           [](config::CcAlgorithm, double) { return 7.0; }));
+  std::ifstream in(path);
+  ASSERT_TRUE(static_cast<bool>(in));
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,2PL");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,7");
+}
+
+}  // namespace
+}  // namespace ccsim::experiments

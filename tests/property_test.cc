@@ -1,0 +1,165 @@
+// Property-style sweeps: system-level invariants that must hold for every
+// concurrency control algorithm across load levels and partitioning degrees.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <tuple>
+
+#include "ccsim/engine/run.h"
+#include "test_util.h"
+
+namespace ccsim::engine {
+namespace {
+
+using Param = std::tuple<config::CcAlgorithm, double /*think*/, int /*degree*/>;
+
+std::string Sanitize(std::string name) {
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  auto [alg, think, degree] = info.param;
+  std::string name = config::ToString(alg);
+  name += "_think" + std::to_string(static_cast<int>(think * 10));
+  name += "_deg" + std::to_string(degree);
+  return Sanitize(name);
+}
+
+class AlgorithmInvariants : public ::testing::TestWithParam<Param> {
+ protected:
+  config::SystemConfig Config() const {
+    auto [alg, think, degree] = GetParam();
+    config::SystemConfig cfg = test::SmallConfig(alg, think, 4);
+    cfg.placement.degree = degree;
+    return cfg;
+  }
+};
+
+TEST_P(AlgorithmInvariants, HistoryIsSerializable) {
+  auto cfg = Config();
+  if (cfg.algorithm == config::CcAlgorithm::kNoDc) {
+    GTEST_SKIP() << "NO_DC is the contention-free ideal, not serializable";
+  }
+  RunResult r = RunSimulation(cfg);
+  ASSERT_GT(r.commits, 50u);
+  EXPECT_TRUE(r.serializable) << r.audit_note;
+}
+
+TEST_P(AlgorithmInvariants, SystemMakesProgressAndMetricsAreSane) {
+  RunResult r = RunSimulation(Config());
+  EXPECT_GT(r.commits, 0u);
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_GT(r.mean_response_time, 0.0);
+  EXPECT_GE(r.max_response_time, r.mean_response_time);
+  EXPECT_GE(r.abort_ratio, 0.0);
+  EXPECT_LE(r.live_at_end,
+            static_cast<std::uint64_t>(Config().workload.num_terminals));
+  EXPECT_GE(r.proc_cpu_util, 0.0);
+  EXPECT_LE(r.proc_cpu_util, 1.0);
+  EXPECT_GE(r.disk_util, 0.0);
+  EXPECT_LE(r.disk_util, 1.0);
+  EXPECT_GE(r.rt_ci_half_width, 0.0);
+}
+
+TEST_P(AlgorithmInvariants, NoDcDominatesThroughput) {
+  auto cfg = Config();
+  if (cfg.algorithm == config::CcAlgorithm::kNoDc) GTEST_SKIP();
+  RunResult real = RunSimulation(cfg);
+  cfg.algorithm = config::CcAlgorithm::kNoDc;
+  RunResult ideal = RunSimulation(cfg);
+  // The contention-free ideal is an upper bound (up to simulation noise).
+  EXPECT_GE(ideal.throughput * 1.07, real.throughput)
+      << "ideal " << ideal.throughput << " vs real " << real.throughput;
+}
+
+TEST_P(AlgorithmInvariants, DeterministicReplay) {
+  auto cfg = Config();
+  RunResult a = RunSimulation(cfg);
+  RunResult b = RunSimulation(cfg);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.commits, b.commits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlgorithmInvariants,
+    ::testing::Combine(
+        ::testing::Values(config::CcAlgorithm::kNoDc,
+                          config::CcAlgorithm::kTwoPhaseLocking,
+                          config::CcAlgorithm::kWoundWait,
+                          config::CcAlgorithm::kBasicTimestamp,
+                          config::CcAlgorithm::kOptimistic,
+                          config::CcAlgorithm::kTwoPhaseLockingDeferred,
+                          config::CcAlgorithm::kWaitDie,
+                          config::CcAlgorithm::kTwoPhaseLockingTimeout),
+        ::testing::Values(0.0, 2.0),
+        ::testing::Values(1, 4)),
+    ParamName);
+
+// Sequential-vs-parallel property: both execution patterns commit and stay
+// serializable for every algorithm.
+class ExecPatternInvariants
+    : public ::testing::TestWithParam<config::CcAlgorithm> {};
+
+TEST_P(ExecPatternInvariants, SequentialPatternAlsoWorks) {
+  auto cfg = test::SmallConfig(GetParam(), 2.0, 4);
+  cfg.workload.classes[0].exec_pattern = config::ExecPattern::kSequential;
+  RunResult r = RunSimulation(cfg);
+  EXPECT_GT(r.commits, 0u);
+  if (GetParam() != config::CcAlgorithm::kNoDc) {
+    EXPECT_TRUE(r.serializable) << r.audit_note;
+  }
+}
+
+TEST_P(ExecPatternInvariants, ParallelBeatsSequentialResponseTimeLightLoad) {
+  auto base = test::SmallConfig(GetParam(), 30.0, 4);
+  base.workload.num_terminals = 8;
+  auto seq = base;
+  seq.workload.classes[0].exec_pattern = config::ExecPattern::kSequential;
+  RunResult par_r = RunSimulation(base);
+  RunResult seq_r = RunSimulation(seq);
+  EXPECT_LT(par_r.mean_response_time, seq_r.mean_response_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ExecPatternInvariants,
+    ::testing::Values(config::CcAlgorithm::kNoDc,
+                      config::CcAlgorithm::kTwoPhaseLocking,
+                      config::CcAlgorithm::kWoundWait,
+                      config::CcAlgorithm::kBasicTimestamp,
+                      config::CcAlgorithm::kOptimistic,
+                      config::CcAlgorithm::kTwoPhaseLockingDeferred),
+    [](const ::testing::TestParamInfo<config::CcAlgorithm>& info) {
+      return Sanitize(config::ToString(info.param));
+    });
+
+// Seed robustness: key invariants hold across several seeds.
+class SeedInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedInvariants, SerializableUnderContentionForAllAlgorithms) {
+  for (auto alg :
+       {config::CcAlgorithm::kTwoPhaseLocking, config::CcAlgorithm::kWoundWait,
+        config::CcAlgorithm::kBasicTimestamp, config::CcAlgorithm::kOptimistic,
+        config::CcAlgorithm::kTwoPhaseLockingDeferred,
+        config::CcAlgorithm::kWaitDie,
+        config::CcAlgorithm::kTwoPhaseLockingTimeout}) {
+    auto cfg = test::SmallConfig(alg, 0.0, 4);
+    cfg.run.seed = GetParam();
+    cfg.run.warmup_sec = 10;
+    cfg.run.measure_sec = 60;
+    RunResult r = RunSimulation(cfg);
+    EXPECT_TRUE(r.serializable)
+        << config::ToString(alg) << " seed " << GetParam() << ": "
+        << r.audit_note;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedInvariants,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace ccsim::engine

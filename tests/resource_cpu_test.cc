@@ -1,0 +1,174 @@
+#include "ccsim/resource/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ccsim/sim/completion.h"
+#include "ccsim/sim/process.h"
+#include "ccsim/sim/simulation.h"
+
+namespace ccsim::resource {
+namespace {
+
+using sim::Await;
+using sim::Completion;
+using sim::Process;
+using sim::Simulation;
+using sim::Unit;
+
+// Records the simulated time a completion fires.
+Process Track(Simulation& sim, std::shared_ptr<Completion<Unit>> c,
+              double* when) {
+  co_await Await(std::move(c));
+  *when = sim.Now();
+}
+
+class CpuTest : public ::testing::Test {
+ protected:
+  Simulation sim_;
+  Cpu cpu_{&sim_, 1.0};  // 1 MIPS: 1000 instructions == 1 ms
+};
+
+TEST_F(CpuTest, SingleUserJobTakesItsDemand) {
+  double done = -1;
+  Track(sim_, cpu_.ExecuteSeconds(2.0, CpuJobClass::kUser), &done);
+  sim_.Run();
+  EXPECT_NEAR(done, 2.0, 1e-9);
+}
+
+TEST_F(CpuTest, InstructionsConvertViaMips) {
+  double done = -1;
+  Track(sim_, cpu_.Execute(8000.0, CpuJobClass::kUser), &done);
+  sim_.Run();
+  EXPECT_NEAR(done, 0.008, 1e-12);
+}
+
+TEST_F(CpuTest, TwoEqualJobsShareTheProcessor) {
+  double a = -1, b = -1;
+  Track(sim_, cpu_.ExecuteSeconds(1.0, CpuJobClass::kUser), &a);
+  Track(sim_, cpu_.ExecuteSeconds(1.0, CpuJobClass::kUser), &b);
+  sim_.Run();
+  // Processor sharing: both finish at 2.0 (each progresses at rate 1/2).
+  EXPECT_NEAR(a, 2.0, 1e-9);
+  EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST_F(CpuTest, StaggeredArrivalProcessorSharing) {
+  double a = -1, b = -1;
+  Track(sim_, cpu_.ExecuteSeconds(3.0, CpuJobClass::kUser), &a);
+  sim_.At(1.0, [&] {
+    Track(sim_, cpu_.ExecuteSeconds(1.0, CpuJobClass::kUser), &b);
+  });
+  sim_.Run();
+  // A alone in [0,1) does 1 unit; then both share. B needs 1 at rate 1/2:
+  // finishes at 3. A then has 1 left, alone: finishes at 4.
+  EXPECT_NEAR(b, 3.0, 1e-9);
+  EXPECT_NEAR(a, 4.0, 1e-9);
+}
+
+TEST_F(CpuTest, ZeroDemandCompletesImmediately) {
+  auto c = cpu_.ExecuteSeconds(0.0, CpuJobClass::kUser);
+  EXPECT_TRUE(c->done());
+  auto m = cpu_.Execute(0.0, CpuJobClass::kMessage);
+  EXPECT_TRUE(m->done());
+}
+
+TEST_F(CpuTest, MessagePreemptsProcessorSharingWork) {
+  double user = -1, msg = -1;
+  Track(sim_, cpu_.ExecuteSeconds(2.0, CpuJobClass::kUser), &user);
+  sim_.At(0.5, [&] {
+    Track(sim_, cpu_.ExecuteSeconds(1.0, CpuJobClass::kMessage), &msg);
+  });
+  sim_.Run();
+  // User work stalls during [0.5, 1.5] while the message runs.
+  EXPECT_NEAR(msg, 1.5, 1e-9);
+  EXPECT_NEAR(user, 3.0, 1e-9);
+}
+
+TEST_F(CpuTest, MessagesServeFifoOneAtATime) {
+  double m1 = -1, m2 = -1, m3 = -1;
+  Track(sim_, cpu_.ExecuteSeconds(1.0, CpuJobClass::kMessage), &m1);
+  Track(sim_, cpu_.ExecuteSeconds(0.5, CpuJobClass::kMessage), &m2);
+  Track(sim_, cpu_.ExecuteSeconds(0.25, CpuJobClass::kMessage), &m3);
+  sim_.Run();
+  EXPECT_NEAR(m1, 1.0, 1e-9);
+  EXPECT_NEAR(m2, 1.5, 1e-9);
+  EXPECT_NEAR(m3, 1.75, 1e-9);
+}
+
+TEST_F(CpuTest, UserJobSubmittedDuringMessageWaits) {
+  double msg = -1;
+  Track(sim_, cpu_.ExecuteSeconds(1.0, CpuJobClass::kMessage), &msg);
+  double u = -1;
+  sim_.At(0.2, [&] {
+    Track(sim_, cpu_.ExecuteSeconds(0.5, CpuJobClass::kUser), &u);
+  });
+  sim_.Run();
+  // The user job cannot start before the message finishes at t=1.
+  EXPECT_NEAR(u, 1.5, 1e-9);
+}
+
+TEST_F(CpuTest, BackToBackMessagesKeepPsStalled) {
+  double user = -1;
+  Track(sim_, cpu_.ExecuteSeconds(1.0, CpuJobClass::kUser), &user);
+  sim_.At(0.25, [&] {
+    cpu_.ExecuteSeconds(0.5, CpuJobClass::kMessage);
+    cpu_.ExecuteSeconds(0.5, CpuJobClass::kMessage);
+  });
+  sim_.Run();
+  // PS progress: 0.25 before the messages, stalled during [0.25, 1.25],
+  // remaining 0.75 afterwards.
+  EXPECT_NEAR(user, 2.0, 1e-9);
+}
+
+TEST_F(CpuTest, ManyEqualJobsFinishTogether) {
+  const int n = 10;
+  std::vector<double> done(n, -1);
+  for (int i = 0; i < n; ++i) {
+    Track(sim_, cpu_.ExecuteSeconds(1.0, CpuJobClass::kUser), &done[i]);
+  }
+  sim_.Run();
+  for (double d : done) EXPECT_NEAR(d, 10.0, 1e-6);
+}
+
+TEST_F(CpuTest, UtilizationTracksBusyTime) {
+  cpu_.ExecuteSeconds(2.0, CpuJobClass::kUser);
+  sim_.At(8.0, [] {});  // extend the run
+  sim_.Run();
+  EXPECT_NEAR(cpu_.Utilization(), 2.0 / 8.0, 1e-9);
+}
+
+TEST_F(CpuTest, ResetStatsRestartsUtilizationWindow) {
+  cpu_.ExecuteSeconds(1.0, CpuJobClass::kUser);
+  sim_.At(1.0, [&] { cpu_.ResetStats(); });
+  sim_.At(3.0, [] {});
+  sim_.Run();
+  EXPECT_NEAR(cpu_.Utilization(), 0.0, 1e-9);
+}
+
+TEST_F(CpuTest, JobsCompletedCounts) {
+  cpu_.ExecuteSeconds(0.5, CpuJobClass::kUser);
+  cpu_.ExecuteSeconds(0.5, CpuJobClass::kMessage);
+  cpu_.ExecuteSeconds(0.0, CpuJobClass::kUser);
+  sim_.Run();
+  EXPECT_EQ(cpu_.jobs_completed(), 3u);
+}
+
+TEST(CpuConfig, HigherMipsRunsProportionallyFaster) {
+  Simulation sim;
+  Cpu fast(&sim, 10.0);
+  double done = -1;
+  Track(sim, fast.Execute(8000.0, CpuJobClass::kUser), &done);
+  sim.Run();
+  EXPECT_NEAR(done, 0.0008, 1e-12);
+}
+
+TEST(CpuConfigDeathTest, NonPositiveMipsIsFatal) {
+  Simulation sim;
+  EXPECT_DEATH(Cpu(&sim, 0.0), "mips");
+}
+
+}  // namespace
+}  // namespace ccsim::resource

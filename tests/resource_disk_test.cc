@@ -1,0 +1,139 @@
+#include "ccsim/resource/disk.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ccsim/resource/resource_manager.h"
+#include "ccsim/sim/process.h"
+#include "ccsim/sim/random.h"
+#include "ccsim/sim/simulation.h"
+
+namespace ccsim::resource {
+namespace {
+
+using sim::Await;
+using sim::Completion;
+using sim::Process;
+using sim::RandomStream;
+using sim::Simulation;
+using sim::Unit;
+
+Process Track(Simulation& sim, std::shared_ptr<Completion<Unit>> c,
+              double* when) {
+  co_await Await(std::move(c));
+  *when = sim.Now();
+}
+
+Process TrackOrder(Simulation& sim, std::shared_ptr<Completion<Unit>> c,
+                   std::vector<int>* order, int tag) {
+  (void)sim;
+  co_await Await(std::move(c));
+  order->push_back(tag);
+}
+
+class DiskTest : public ::testing::Test {
+ protected:
+  Simulation sim_;
+  Disk disk_{&sim_, 0.010, 0.030, RandomStream(1, 99)};
+};
+
+TEST_F(DiskTest, SingleAccessWithinServiceRange) {
+  double done = -1;
+  Track(sim_, disk_.Access(DiskOp::kRead), &done);
+  sim_.Run();
+  EXPECT_GE(done, 0.010);
+  EXPECT_LE(done, 0.030);
+}
+
+TEST_F(DiskTest, ReadsServeFifo) {
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    TrackOrder(sim_, disk_.Access(DiskOp::kRead), &order, i);
+  }
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(DiskTest, WritesJumpAheadOfQueuedReads) {
+  std::vector<int> order;
+  // Read 0 enters service immediately; reads 1-2 queue; the write must be
+  // served right after read 0, before reads 1-2 (non-preemptive priority).
+  TrackOrder(sim_, disk_.Access(DiskOp::kRead), &order, 0);
+  TrackOrder(sim_, disk_.Access(DiskOp::kRead), &order, 1);
+  TrackOrder(sim_, disk_.Access(DiskOp::kRead), &order, 2);
+  TrackOrder(sim_, disk_.Access(DiskOp::kWrite), &order, 100);
+  sim_.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 100, 1, 2}));
+}
+
+TEST_F(DiskTest, QueueLengthCountsInServiceAndWaiting) {
+  disk_.Access(DiskOp::kRead);
+  disk_.Access(DiskOp::kRead);
+  disk_.Access(DiskOp::kWrite);
+  EXPECT_EQ(disk_.queue_length(), 3u);
+  sim_.Run();
+  EXPECT_EQ(disk_.queue_length(), 0u);
+}
+
+TEST_F(DiskTest, SaturatedDiskHasFullUtilization) {
+  for (int i = 0; i < 50; ++i) disk_.Access(DiskOp::kRead);
+  sim_.Run();
+  EXPECT_NEAR(disk_.Utilization(), 1.0, 1e-9);
+  EXPECT_EQ(disk_.accesses_completed(), 50u);
+}
+
+TEST_F(DiskTest, WaitTimesRecordQueueingDelay) {
+  disk_.Access(DiskOp::kRead);
+  disk_.Access(DiskOp::kRead);
+  sim_.Run();
+  ASSERT_EQ(disk_.wait_times().count(), 2u);
+  EXPECT_DOUBLE_EQ(disk_.wait_times().min(), 0.0);   // first starts at once
+  EXPECT_GE(disk_.wait_times().max(), 0.010);        // second waited >= min
+}
+
+TEST_F(DiskTest, MeanServiceTimeNearMidpoint) {
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) disk_.Access(DiskOp::kRead);
+  sim_.Run();
+  // Busy the whole time; total time ~ n * 20 ms.
+  EXPECT_NEAR(sim_.Now() / n, 0.020, 0.001);
+}
+
+TEST_F(DiskTest, ResetStatsClearsCountersAndWindow) {
+  disk_.Access(DiskOp::kRead);
+  sim_.Run();
+  disk_.ResetStats();
+  EXPECT_EQ(disk_.accesses_completed(), 0u);
+  EXPECT_EQ(disk_.wait_times().count(), 0u);
+}
+
+TEST(ResourceManager, SpreadsAccessesAcrossDisks) {
+  Simulation sim;
+  ResourceManager rm(&sim, 1.0, 4, 0.010, 0.030, /*seed=*/7,
+                     /*stream_base=*/0);
+  for (int i = 0; i < 400; ++i) rm.DiskAccess(DiskOp::kRead);
+  sim.Run();
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_GT(rm.disk(d).accesses_completed(), 50u);
+  }
+}
+
+TEST(ResourceManager, MeanDiskUtilizationAveragesDisks) {
+  Simulation sim;
+  ResourceManager rm(&sim, 1.0, 2, 0.010, 0.010, 7, 0);
+  rm.disk(0).Access(DiskOp::kRead);  // only disk 0 busy
+  sim.At(0.020, [] {});
+  sim.Run();
+  EXPECT_NEAR(rm.MeanDiskUtilization(), 0.25, 1e-9);
+}
+
+TEST(ResourceManagerDeathTest, DiskAccessWithNoDisksIsFatal) {
+  Simulation sim;
+  ResourceManager rm(&sim, 1.0, 0, 0.010, 0.030, 7, 0);
+  EXPECT_DEATH(rm.DiskAccess(DiskOp::kRead), "no disks");
+}
+
+}  // namespace
+}  // namespace ccsim::resource

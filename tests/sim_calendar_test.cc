@@ -1,0 +1,99 @@
+#include "ccsim/sim/calendar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ccsim::sim {
+namespace {
+
+TEST(Calendar, StartsEmpty) {
+  Calendar cal;
+  EXPECT_TRUE(cal.empty());
+  EXPECT_EQ(cal.size(), 0u);
+  EXPECT_EQ(cal.NextTime(), kNever);
+  EXPECT_FALSE(cal.PopNext().has_value());
+}
+
+TEST(Calendar, PopsInTimeOrder) {
+  Calendar cal;
+  std::vector<int> order;
+  cal.Schedule(3.0, [&] { order.push_back(3); });
+  cal.Schedule(1.0, [&] { order.push_back(1); });
+  cal.Schedule(2.0, [&] { order.push_back(2); });
+  while (auto fired = cal.PopNext()) fired->handler();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Calendar, TiesFireInInsertionOrder) {
+  Calendar cal;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    cal.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (auto fired = cal.PopNext()) fired->handler();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Calendar, NextTimeReportsEarliestPending) {
+  Calendar cal;
+  cal.Schedule(7.0, [] {});
+  cal.Schedule(4.0, [] {});
+  EXPECT_DOUBLE_EQ(cal.NextTime(), 4.0);
+}
+
+TEST(Calendar, CancelPreventsFiring) {
+  Calendar cal;
+  bool fired = false;
+  auto id = cal.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(cal.Cancel(id));
+  EXPECT_FALSE(cal.PopNext().has_value());
+  EXPECT_FALSE(fired);
+}
+
+TEST(Calendar, CancelReturnsFalseForUnknownOrFiredEvent) {
+  Calendar cal;
+  auto id = cal.Schedule(1.0, [] {});
+  auto fired = cal.PopNext();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_FALSE(cal.Cancel(id));
+  EXPECT_FALSE(cal.Cancel(9999));
+}
+
+TEST(Calendar, CancelDoesNotDisturbOtherEvents) {
+  Calendar cal;
+  std::vector<int> order;
+  cal.Schedule(1.0, [&] { order.push_back(1); });
+  auto id = cal.Schedule(2.0, [&] { order.push_back(2); });
+  cal.Schedule(3.0, [&] { order.push_back(3); });
+  cal.Cancel(id);
+  while (auto f = cal.PopNext()) f->handler();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Calendar, SizeCountsOnlyLiveEvents) {
+  Calendar cal;
+  auto a = cal.Schedule(1.0, [] {});
+  cal.Schedule(2.0, [] {});
+  EXPECT_EQ(cal.size(), 2u);
+  cal.Cancel(a);
+  EXPECT_EQ(cal.size(), 1u);
+}
+
+TEST(Calendar, NextTimeSkipsCancelledHead) {
+  Calendar cal;
+  auto a = cal.Schedule(1.0, [] {});
+  cal.Schedule(5.0, [] {});
+  cal.Cancel(a);
+  EXPECT_DOUBLE_EQ(cal.NextTime(), 5.0);
+}
+
+TEST(CalendarDeathTest, RejectsNanTime) {
+  Calendar cal;
+  EXPECT_DEATH(cal.Schedule(std::nan(""), [] {}), "NaN");
+}
+
+}  // namespace
+}  // namespace ccsim::sim

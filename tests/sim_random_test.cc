@@ -1,0 +1,110 @@
+#include "ccsim/sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ccsim::sim {
+namespace {
+
+TEST(RandomStream, SameSeedsReproduce) {
+  RandomStream a(42, 7), b(42, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomStream, DifferentStreamIdsDiffer) {
+  RandomStream a(42, 7), b(42, 8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomStream, DifferentMasterSeedsDiffer) {
+  RandomStream a(1, 7), b(2, 7);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomStream, ExponentialMeanMatches) {
+  RandomStream rng(123, 0);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(8.0);
+  EXPECT_NEAR(sum / n, 8.0, 0.1);
+}
+
+TEST(RandomStream, ExponentialOfZeroMeanIsZero) {
+  RandomStream rng(123, 0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Exponential(0.0), 0.0);
+}
+
+TEST(RandomStream, ExponentialIsNonNegativeAndSpread) {
+  RandomStream rng(9, 1);
+  double max = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Exponential(1.0);
+    ASSERT_GE(v, 0.0);
+    max = std::max(max, v);
+  }
+  EXPECT_GT(max, 4.0);  // the tail exists
+}
+
+TEST(RandomStream, UniformStaysInRange) {
+  RandomStream rng(5, 2);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform(0.010, 0.030);
+    ASSERT_GE(v, 0.010);
+    ASSERT_LT(v, 0.030);
+  }
+}
+
+TEST(RandomStream, UniformMeanMatches) {
+  RandomStream rng(5, 2);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(10.0, 30.0);
+  EXPECT_NEAR(sum / n, 20.0, 0.1);
+}
+
+TEST(RandomStream, UniformIntCoversInclusiveRangeUniformly) {
+  RandomStream rng(5, 3);
+  int counts[9] = {0};  // values 4..12
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) {
+    auto v = rng.UniformInt(4, 12);
+    ASSERT_GE(v, 4);
+    ASSERT_LE(v, 12);
+    ++counts[v - 4];
+  }
+  for (int c : counts) EXPECT_NEAR(c, n / 9.0, n / 9.0 * 0.1);
+}
+
+TEST(RandomStream, UniformIntDegenerateRange) {
+  RandomStream rng(5, 4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(7, 7), 7);
+}
+
+TEST(RandomStream, BernoulliFrequencyMatches) {
+  RandomStream rng(11, 5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.25);
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(RandomStream, BernoulliExtremes) {
+  RandomStream rng(11, 6);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomStreamDeathTest, NegativeExponentialMeanIsFatal) {
+  RandomStream rng(1, 1);
+  EXPECT_DEATH(rng.Exponential(-1.0), "mean");
+}
+
+}  // namespace
+}  // namespace ccsim::sim

@@ -1,0 +1,177 @@
+#include "ccsim/sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ccsim/sim/completion.h"
+#include "ccsim/sim/process.h"
+
+namespace ccsim::sim {
+namespace {
+
+TEST(Simulation, ClockAdvancesToEventTimes) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.At(1.5, [&] { times.push_back(sim.Now()); });
+  sim.At(0.5, [&] { times.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 1.5);
+}
+
+TEST(Simulation, AfterSchedulesRelativeToNow) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.At(2.0, [&] { sim.After(3.0, [&] { fired_at = sim.Now(); }); });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(1.0, [&] { ++fired; });
+  sim.At(10.0, [&] { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulation, RunUntilIncludesEventsAtBoundary) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(5.0, [&] { ++fired; });
+  sim.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, StopHaltsTheLoop) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(1.0, [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.At(2.0, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulation, CountsFiredEvents) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.At(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_fired(), 7u);
+}
+
+TEST(SimulationDeathTest, RejectsSchedulingInThePast) {
+  Simulation sim;
+  sim.At(5.0, [] {});
+  sim.Run();
+  EXPECT_DEATH(sim.At(1.0, [] {}), "past");
+}
+
+// --- Coroutine process tests -----------------------------------------------
+
+Process DelayTwice(Simulation& sim, std::vector<double>& trace) {
+  trace.push_back(sim.Now());
+  co_await sim.Delay(1.0);
+  trace.push_back(sim.Now());
+  co_await sim.Delay(2.5);
+  trace.push_back(sim.Now());
+}
+
+TEST(Process, DelaysAdvanceSimulatedTime) {
+  Simulation sim;
+  std::vector<double> trace;
+  DelayTwice(sim, trace);
+  sim.Run();
+  EXPECT_EQ(trace, (std::vector<double>{0.0, 1.0, 3.5}));
+}
+
+Process ZeroDelay(Simulation& sim, std::vector<int>& order, int tag) {
+  co_await sim.Delay(0.0);
+  order.push_back(tag);
+}
+
+TEST(Process, ZeroDelayYieldsThroughCalendarInFifoOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  ZeroDelay(sim, order, 1);
+  ZeroDelay(sim, order, 2);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+}
+
+Process AwaitValue(Simulation& sim, std::shared_ptr<Completion<int>> c,
+                   std::vector<int>& got) {
+  (void)sim;
+  int v = co_await Await(c);
+  got.push_back(v);
+}
+
+TEST(Completion, DeliversValueToWaiter) {
+  Simulation sim;
+  auto c = MakeCompletion<int>(&sim);
+  std::vector<int> got;
+  AwaitValue(sim, c, got);
+  EXPECT_TRUE(got.empty());  // suspended until completion
+  sim.At(2.0, [&] { c->Complete(42); });
+  sim.Run();
+  EXPECT_EQ(got, (std::vector<int>{42}));
+}
+
+TEST(Completion, CompleteBeforeAwaitDoesNotSuspend) {
+  Simulation sim;
+  auto c = MakeCompletion<int>(&sim);
+  c->Complete(7);
+  std::vector<int> got;
+  AwaitValue(sim, c, got);
+  EXPECT_EQ(got, (std::vector<int>{7}));  // resumed synchronously
+}
+
+TEST(Completion, ResumptionGoesThroughCalendarAtCurrentTime) {
+  Simulation sim;
+  auto c = MakeCompletion<int>(&sim);
+  std::vector<int> got;
+  AwaitValue(sim, c, got);
+  std::vector<int> order;
+  sim.At(1.0, [&] {
+    c->Complete(1);
+    order.push_back(0);  // runs before the waiter resumes
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(got, (std::vector<int>{1}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 1.0);
+}
+
+TEST(CompletionDeathTest, DoubleCompleteIsFatal) {
+  Simulation sim;
+  auto c = MakeCompletion<int>(&sim);
+  c->Complete(1);
+  EXPECT_DEATH(c->Complete(2), "twice");
+}
+
+TEST(Latch, CompletesAtZero) {
+  Simulation sim;
+  Latch latch(&sim, 3);
+  EXPECT_FALSE(latch.completion()->done());
+  latch.CountDown();
+  latch.CountDown();
+  EXPECT_FALSE(latch.completion()->done());
+  latch.CountDown();
+  EXPECT_TRUE(latch.completion()->done());
+}
+
+TEST(Latch, ZeroCountCompletesImmediately) {
+  Simulation sim;
+  Latch latch(&sim, 0);
+  EXPECT_TRUE(latch.completion()->done());
+}
+
+}  // namespace
+}  // namespace ccsim::sim

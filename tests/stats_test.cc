@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ccsim/stats/batch_means.h"
+#include "ccsim/stats/histogram.h"
+#include "ccsim/stats/tally.h"
+#include "ccsim/stats/time_weighted.h"
+
+namespace ccsim::stats {
+namespace {
+
+// --- Tally ------------------------------------------------------------------
+
+TEST(Tally, EmptyIsZero) {
+  Tally t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.mean(), 0.0);
+  EXPECT_EQ(t.variance(), 0.0);
+  EXPECT_EQ(t.min(), 0.0);
+  EXPECT_EQ(t.max(), 0.0);
+}
+
+TEST(Tally, SingleObservation) {
+  Tally t;
+  t.Record(3.5);
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_DOUBLE_EQ(t.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(t.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(t.min(), 3.5);
+  EXPECT_DOUBLE_EQ(t.max(), 3.5);
+}
+
+TEST(Tally, KnownMeanAndVariance) {
+  Tally t;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) t.Record(x);
+  EXPECT_DOUBLE_EQ(t.mean(), 5.0);
+  EXPECT_NEAR(t.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(t.min(), 2.0);
+  EXPECT_DOUBLE_EQ(t.max(), 9.0);
+  EXPECT_DOUBLE_EQ(t.sum(), 40.0);
+}
+
+TEST(Tally, ResetClearsEverything) {
+  Tally t;
+  t.Record(1.0);
+  t.Record(2.0);
+  t.Reset();
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(t.mean(), 0.0);
+  t.Record(10.0);
+  EXPECT_DOUBLE_EQ(t.mean(), 10.0);
+}
+
+TEST(Tally, NumericallyStableAroundLargeOffsets) {
+  Tally t;
+  for (int i = 0; i < 1000; ++i) t.Record(1e9 + (i % 2));
+  EXPECT_NEAR(t.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(t.variance(), 0.25025, 1e-3);
+}
+
+// --- TimeWeighted -----------------------------------------------------------
+
+TEST(TimeWeighted, PiecewiseConstantMean) {
+  TimeWeighted tw(0.0);
+  tw.Set(2.0, 1.0);   // 0 over [0,2)
+  tw.Set(6.0, 3.0);   // 1 over [2,6)
+  EXPECT_DOUBLE_EQ(tw.Mean(10.0), (0 * 2 + 1 * 4 + 3 * 4) / 10.0);
+}
+
+TEST(TimeWeighted, InitialValueCounts) {
+  TimeWeighted tw(5.0);
+  EXPECT_DOUBLE_EQ(tw.Mean(4.0), 5.0);
+}
+
+TEST(TimeWeighted, AddAdjustsCurrentValue) {
+  TimeWeighted tw(0.0);
+  tw.Add(1.0, 2.0);
+  tw.Add(3.0, -1.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 1.0);
+  EXPECT_DOUBLE_EQ(tw.Mean(4.0), (0 * 1 + 2 * 2 + 1 * 1) / 4.0);
+}
+
+TEST(TimeWeighted, ResetKeepsValueRestartsWindow) {
+  TimeWeighted tw(0.0);
+  tw.Set(5.0, 1.0);
+  tw.Reset(10.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 1.0);
+  EXPECT_DOUBLE_EQ(tw.Mean(20.0), 1.0);  // constant 1 since reset
+}
+
+TEST(TimeWeighted, ZeroElapsedReturnsCurrent) {
+  TimeWeighted tw(2.5);
+  EXPECT_DOUBLE_EQ(tw.Mean(0.0), 2.5);
+}
+
+TEST(TimeWeighted, UtilizationOfBusyIndicator) {
+  TimeWeighted busy(0.0);
+  busy.Set(1.0, 1.0);
+  busy.Set(3.0, 0.0);
+  busy.Set(5.0, 1.0);
+  busy.Set(6.0, 0.0);
+  EXPECT_DOUBLE_EQ(busy.Mean(10.0), 0.3);
+}
+
+// --- BatchMeans -------------------------------------------------------------
+
+TEST(BatchMeans, MeanFallsBackToRunningMeanBeforeFirstBatch) {
+  BatchMeans bm(100);
+  bm.Record(2.0);
+  bm.Record(4.0);
+  EXPECT_DOUBLE_EQ(bm.mean(), 3.0);
+  EXPECT_EQ(bm.num_batches(), 0u);
+  EXPECT_EQ(bm.half_width_95(), 0.0);
+}
+
+TEST(BatchMeans, BatchesFormAtBatchSize) {
+  BatchMeans bm(2);
+  for (double x : {1.0, 3.0, 5.0, 7.0}) bm.Record(x);
+  EXPECT_EQ(bm.num_batches(), 2u);  // means 2 and 6
+  EXPECT_DOUBLE_EQ(bm.mean(), 4.0);
+}
+
+TEST(BatchMeans, ConstantDataHasZeroHalfWidth) {
+  BatchMeans bm(5);
+  for (int i = 0; i < 50; ++i) bm.Record(3.0);
+  EXPECT_DOUBLE_EQ(bm.half_width_95(), 0.0);
+}
+
+TEST(BatchMeans, HalfWidthMatchesTwoBatchFormula) {
+  BatchMeans bm(1);
+  bm.Record(1.0);
+  bm.Record(3.0);
+  // n=2 batches, mean 2, s^2 = 2, hw = t(1df) * sqrt(2/2) = 12.706.
+  EXPECT_NEAR(bm.half_width_95(), 12.706, 1e-9);
+}
+
+TEST(BatchMeans, HalfWidthShrinksWithMoreBatches) {
+  BatchMeans bm(10);
+  // Alternating values: batch means all equal after full batches, so use a
+  // noisy pattern instead.
+  for (int i = 0; i < 100; ++i) bm.Record(i % 7);
+  double hw100 = bm.half_width_95();
+  for (int i = 0; i < 900; ++i) bm.Record(i % 7);
+  EXPECT_LT(bm.half_width_95(), hw100 + 1e-12);
+}
+
+TEST(BatchMeans, ResetClears) {
+  BatchMeans bm(2);
+  bm.Record(1.0);
+  bm.Record(2.0);
+  bm.Reset();
+  EXPECT_EQ(bm.observations(), 0u);
+  EXPECT_EQ(bm.num_batches(), 0u);
+  EXPECT_EQ(bm.mean(), 0.0);
+}
+
+TEST(BatchMeans, RelativeHalfWidth) {
+  BatchMeans bm(1);
+  bm.Record(9.0);
+  bm.Record(11.0);
+  EXPECT_NEAR(bm.relative_half_width_95(), bm.half_width_95() / 10.0, 1e-12);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Record(-1.0);
+  h.Record(0.0);
+  h.Record(5.5);
+  h.Record(9.999);
+  h.Record(10.0);
+  h.Record(100.0);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, QuantileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Record(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.1), 10.0, 1.5);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLo) {
+  Histogram h(1.0, 2.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h(0.0, 1.0, 2);
+  h.Record(0.5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bin_count(0), 0u);
+  EXPECT_EQ(h.bin_count(1), 0u);
+}
+
+}  // namespace
+}  // namespace ccsim::stats

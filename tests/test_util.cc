@@ -1,0 +1,43 @@
+#include "test_util.h"
+
+namespace ccsim::test {
+
+txn::TxnPtr MakeTxn(TxnId id, NodeId node, const std::vector<PageRef>& pages,
+                    unsigned write_mask, double start_time) {
+  workload::TransactionSpec spec;
+  spec.terminal = 0;
+  spec.class_index = 0;
+  spec.relation = 0;
+  spec.exec_pattern = config::ExecPattern::kParallel;
+  workload::CohortSpec cohort;
+  cohort.node = node;
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    cohort.accesses.push_back(
+        workload::PageAccess{pages[i], (write_mask & (1u << i)) != 0});
+  }
+  spec.cohorts.push_back(std::move(cohort));
+  auto txn = std::make_shared<txn::Transaction>(id, std::move(spec),
+                                                start_time, nullptr);
+  txn->BeginAttempt(start_time);
+  return txn;
+}
+
+config::SystemConfig SmallConfig(config::CcAlgorithm alg, double think_time,
+                                 int num_proc_nodes) {
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  cfg.algorithm = alg;
+  cfg.machine.num_proc_nodes = num_proc_nodes;
+  cfg.placement.degree = num_proc_nodes;
+  cfg.database.num_relations = 4;
+  cfg.database.partitions_per_relation = num_proc_nodes;
+  cfg.database.pages_per_file = 60;
+  cfg.workload.num_terminals = 32;
+  cfg.workload.think_time_sec = think_time;
+  cfg.workload.classes[0].pages_per_partition_avg = 4;
+  cfg.run.warmup_sec = 20;
+  cfg.run.measure_sec = 120;
+  cfg.run.enable_audit = true;
+  return cfg;
+}
+
+}  // namespace ccsim::test

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ccsim/engine/system.h"
+#include "test_util.h"
+
+namespace ccsim::txn {
+namespace {
+
+using engine::System;
+
+// Builds a spec with one cohort per (node, page-count) entry; pages are
+// distinct across cohorts. write_mask bit i marks access i of EVERY cohort
+// as an update.
+workload::TransactionSpec MakeSpec(
+    const std::vector<std::pair<NodeId, int>>& cohorts, unsigned write_mask,
+    config::ExecPattern pattern = config::ExecPattern::kParallel,
+    int first_page = 0) {
+  workload::TransactionSpec spec;
+  spec.exec_pattern = pattern;
+  int page = first_page;
+  for (auto [node, count] : cohorts) {
+    workload::CohortSpec c;
+    c.node = node;
+    for (int i = 0; i < count; ++i) {
+      // With 1-way placement, relation r lives at node r+1; its first file
+      // is r * partitions_per_relation.
+      FileId file = (node - 1) * 4;
+      c.accesses.push_back(workload::PageAccess{PageRef{file, page++},
+                                                (write_mask & (1u << i)) != 0});
+    }
+    spec.cohorts.push_back(std::move(c));
+  }
+  return spec;
+}
+
+config::SystemConfig ProtocolConfig(config::CcAlgorithm alg) {
+  // 4 proc nodes; relations placed 1-way so file r sits at node r+1.
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  cfg.algorithm = alg;
+  cfg.machine.num_proc_nodes = 4;
+  cfg.placement.degree = 1;
+  cfg.database.num_relations = 4;
+  cfg.database.partitions_per_relation = 4;
+  cfg.database.pages_per_file = 100;
+  cfg.workload.num_terminals = 4;
+  cfg.run.enable_audit = true;
+  return cfg;
+}
+
+TEST(TxnProtocol, SingleCohortCommitUsesSixMessages) {
+  System sys(ProtocolConfig(config::CcAlgorithm::kNoDc));
+  auto done = sys.coordinator().Submit(MakeSpec({{1, 3}}, 0b001));
+  sys.sim().RunUntil(10.0);
+  ASSERT_TRUE(done->done());
+  auto& net = sys.network();
+  EXPECT_EQ(net.messages_sent(net::MsgTag::kLoadCohort), 1u);
+  EXPECT_EQ(net.messages_sent(net::MsgTag::kCohortReady), 1u);
+  EXPECT_EQ(net.messages_sent(net::MsgTag::kPrepare), 1u);
+  EXPECT_EQ(net.messages_sent(net::MsgTag::kVote), 1u);
+  EXPECT_EQ(net.messages_sent(net::MsgTag::kCommit), 1u);
+  EXPECT_EQ(net.messages_sent(net::MsgTag::kAck), 1u);
+  EXPECT_EQ(net.messages_sent(), 6u);
+  EXPECT_EQ(sys.coordinator().commits(), 1u);
+  EXPECT_EQ(sys.coordinator().live_transactions(), 0u);
+}
+
+TEST(TxnProtocol, ParallelCohortsEachGetTheFullProtocol) {
+  System sys(ProtocolConfig(config::CcAlgorithm::kNoDc));
+  auto done =
+      sys.coordinator().Submit(MakeSpec({{1, 2}, {2, 2}, {3, 2}}, 0));
+  sys.sim().RunUntil(10.0);
+  ASSERT_TRUE(done->done());
+  EXPECT_EQ(sys.network().messages_sent(), 18u);  // 6 per cohort
+}
+
+TEST(TxnProtocol, ParallelCohortsOverlapInTime) {
+  // Two cohorts of equal size on different nodes: the parallel transaction
+  // should take roughly the time of one cohort, not two.
+  System par(ProtocolConfig(config::CcAlgorithm::kNoDc));
+  auto d1 = par.coordinator().Submit(
+      MakeSpec({{1, 8}, {2, 8}}, 0, config::ExecPattern::kParallel));
+  par.sim().RunUntil(60.0);
+  ASSERT_TRUE(d1->done());
+
+  System seq(ProtocolConfig(config::CcAlgorithm::kNoDc));
+  auto d2 = seq.coordinator().Submit(
+      MakeSpec({{1, 8}, {2, 8}}, 0, config::ExecPattern::kSequential));
+  seq.sim().RunUntil(60.0);
+  ASSERT_TRUE(d2->done());
+
+  // Compare completion times via the recorded response-time running means.
+  EXPECT_LT(par.RestartDelay(), 0.75 * seq.RestartDelay());
+}
+
+TEST(TxnProtocol, SequentialCohortsLoadOneAfterAnother) {
+  System sys(ProtocolConfig(config::CcAlgorithm::kNoDc));
+  auto done = sys.coordinator().Submit(
+      MakeSpec({{1, 2}, {2, 2}}, 0, config::ExecPattern::kSequential));
+  sys.sim().RunUntil(30.0);
+  ASSERT_TRUE(done->done());
+  EXPECT_EQ(sys.network().messages_sent(net::MsgTag::kLoadCohort), 2u);
+  EXPECT_EQ(sys.network().messages_sent(net::MsgTag::kCohortReady), 2u);
+  EXPECT_EQ(sys.coordinator().commits(), 1u);
+}
+
+TEST(TxnProtocol, WoundAbortsAndRestartsTheVictim) {
+  System sys(ProtocolConfig(config::CcAlgorithm::kWoundWait));
+  // T1 (older): a short read prefix, then the contested page {0, 99}
+  // (node 1). T2 (younger) grabs the contested page first and then has a
+  // long read tail, so it is still running when T1 arrives and wounds it.
+  workload::TransactionSpec t1;
+  t1.exec_pattern = config::ExecPattern::kParallel;
+  workload::CohortSpec c1;
+  c1.node = 1;
+  for (int i = 0; i < 4; ++i)
+    c1.accesses.push_back(workload::PageAccess{PageRef{0, i}, false});
+  c1.accesses.push_back(workload::PageAccess{PageRef{0, 99}, true});
+  t1.cohorts.push_back(c1);
+
+  workload::TransactionSpec t2;
+  t2.exec_pattern = config::ExecPattern::kParallel;
+  workload::CohortSpec c2;
+  c2.node = 1;
+  c2.accesses.push_back(workload::PageAccess{PageRef{0, 99}, true});
+  for (int i = 10; i < 22; ++i)
+    c2.accesses.push_back(workload::PageAccess{PageRef{0, i}, false});
+  t2.cohorts.push_back(c2);
+
+  auto d1 = sys.coordinator().Submit(std::move(t1));
+  sys.sim().RunUntil(0.001);  // T1 is older by submission time
+  auto d2 = sys.coordinator().Submit(std::move(t2));
+  sys.sim().RunUntil(60.0);
+  ASSERT_TRUE(d1->done());
+  ASSERT_TRUE(d2->done());
+  // T2 was wounded exactly once, then restarted and committed.
+  EXPECT_EQ(sys.coordinator().aborts(), 1u);
+  EXPECT_EQ(sys.coordinator().aborts_by_reason(AbortReason::kWound), 1u);
+  EXPECT_EQ(sys.coordinator().commits(), 2u);
+  EXPECT_GE(sys.network().messages_sent(net::MsgTag::kAbortRequest), 1u);
+  EXPECT_EQ(sys.network().messages_sent(net::MsgTag::kAbort), 1u);
+}
+
+TEST(TxnProtocol, BtoRejectionRestartsWithFreshTimestamp) {
+  System sys(ProtocolConfig(config::CcAlgorithm::kBasicTimestamp));
+  // T1 (older ts) writes page 50 *after* a slow prefix; T2 (younger) reads
+  // page 50 immediately, pushing rts past T1's timestamp -> T1 rejected.
+  workload::TransactionSpec t1;
+  workload::CohortSpec c1;
+  c1.node = 1;
+  for (int i = 0; i < 6; ++i)
+    c1.accesses.push_back(workload::PageAccess{PageRef{0, i}, false});
+  c1.accesses.push_back(workload::PageAccess{PageRef{0, 50}, true});
+  t1.cohorts.push_back(c1);
+
+  workload::TransactionSpec t2;
+  workload::CohortSpec c2;
+  c2.node = 1;
+  c2.accesses.push_back(workload::PageAccess{PageRef{0, 50}, false});
+  t2.cohorts.push_back(c2);
+
+  auto d1 = sys.coordinator().Submit(std::move(t1));
+  sys.sim().RunUntil(0.001);
+  auto d2 = sys.coordinator().Submit(std::move(t2));
+  sys.sim().RunUntil(60.0);
+  ASSERT_TRUE(d1->done());
+  ASSERT_TRUE(d2->done());
+  EXPECT_EQ(sys.coordinator().commits(), 2u);
+  EXPECT_GE(sys.coordinator().aborts_by_reason(AbortReason::kTimestampOrder),
+            1u);
+  EXPECT_GE(sys.network().messages_sent(net::MsgTag::kCohortAborted), 1u);
+}
+
+TEST(TxnProtocol, RestartReusesTheSameAccessSet) {
+  System sys(ProtocolConfig(config::CcAlgorithm::kWoundWait));
+  workload::TransactionSpec spec = MakeSpec({{1, 3}}, 0b111);
+  auto copy = spec;
+  auto done = sys.coordinator().Submit(std::move(spec));
+  sys.sim().RunUntil(30.0);
+  ASSERT_TRUE(done->done());
+  // The audit of the committed attempt covers exactly the spec's pages.
+  ASSERT_EQ(sys.commit_log().size(), 1u);
+  EXPECT_EQ(sys.commit_log()[0].ops.size(), copy.cohorts[0].accesses.size());
+}
+
+TEST(TxnProtocol, CommitCompletesResponseOnceAllAcksArrive) {
+  System sys(ProtocolConfig(config::CcAlgorithm::kNoDc));
+  auto done = sys.coordinator().Submit(MakeSpec({{1, 1}, {2, 1}}, 0));
+  // Before running, nothing has happened.
+  EXPECT_FALSE(done->done());
+  sys.sim().RunUntil(10.0);
+  EXPECT_TRUE(done->done());
+}
+
+TEST(TxnProtocol, AsyncWritebackHitsTheDisks) {
+  System sys(ProtocolConfig(config::CcAlgorithm::kNoDc));
+  auto done = sys.coordinator().Submit(MakeSpec({{1, 4}}, 0b1111));
+  sys.sim().RunUntil(30.0);
+  ASSERT_TRUE(done->done());
+  // 4 updated pages -> 4 asynchronous writes on node 1's disks; the 4
+  // write accesses themselves do no synchronous read I/O, so total disk
+  // accesses == 4.
+  auto& rm = sys.resources(1);
+  std::uint64_t total = 0;
+  for (int d = 0; d < rm.num_disks(); ++d)
+    total += rm.disk(d).accesses_completed();
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(TxnProtocol, NonzeroCcRequestCostIsCharged) {
+  auto base = ProtocolConfig(config::CcAlgorithm::kNoDc);
+  System cheap(base);
+  auto d1 = cheap.coordinator().Submit(MakeSpec({{1, 4}}, 0));
+  cheap.sim().RunUntil(30.0);
+  ASSERT_TRUE(d1->done());
+
+  auto costly_cfg = ProtocolConfig(config::CcAlgorithm::kNoDc);
+  costly_cfg.costs.inst_per_cc_req = 50000;  // 50 ms per request at 1 MIPS
+  System costly(costly_cfg);
+  auto d2 = costly.coordinator().Submit(MakeSpec({{1, 4}}, 0));
+  costly.sim().RunUntil(30.0);
+  ASSERT_TRUE(d2->done());
+
+  // 4 accesses x 50 ms of CC CPU = +0.2 s on the (single) response time,
+  // visible through the running mean the restart delay tracks.
+  EXPECT_GT(costly.RestartDelay(), cheap.RestartDelay() + 0.15);
+}
+
+TEST(TxnProtocol, PureReadsDoSynchronousIo) {
+  System sys(ProtocolConfig(config::CcAlgorithm::kNoDc));
+  auto done = sys.coordinator().Submit(MakeSpec({{1, 5}}, 0));
+  sys.sim().RunUntil(30.0);
+  ASSERT_TRUE(done->done());
+  auto& rm = sys.resources(1);
+  std::uint64_t total = 0;
+  for (int d = 0; d < rm.num_disks(); ++d)
+    total += rm.disk(d).accesses_completed();
+  EXPECT_EQ(total, 5u);
+}
+
+}  // namespace
+}  // namespace ccsim::txn

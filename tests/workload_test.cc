@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ccsim/db/placement.h"
+#include "ccsim/workload/access_generator.h"
+#include "ccsim/workload/source.h"
+
+namespace ccsim::workload {
+namespace {
+
+struct Fixture {
+  Fixture(int degree = 8, config::PageCountSpread spread =
+                              config::PageCountSpread::kSymmetric)
+      : cfg(config::PaperBaseConfig()),
+        catalog(cfg.database,
+                db::ComputePlacement(cfg.database, 8, degree)) {
+    cfg.workload.classes[0].spread = spread;
+    gen = std::make_unique<AccessGenerator>(&cfg.workload, &catalog);
+  }
+  config::SystemConfig cfg;
+  db::Catalog catalog;
+  std::unique_ptr<AccessGenerator> gen;
+};
+
+TEST(AccessGenerator, TerminalGroupsMapToRelations) {
+  Fixture f;
+  // 128 terminals / 8 relations = groups of 16.
+  EXPECT_EQ(f.gen->GroupRelationOfTerminal(0), 0);
+  EXPECT_EQ(f.gen->GroupRelationOfTerminal(15), 0);
+  EXPECT_EQ(f.gen->GroupRelationOfTerminal(16), 1);
+  EXPECT_EQ(f.gen->GroupRelationOfTerminal(127), 7);
+}
+
+TEST(AccessGenerator, TransactionAccessesOnlyItsRelation) {
+  Fixture f;
+  sim::RandomStream rng(1, 1);
+  for (int t : {0, 20, 127}) {
+    TransactionSpec spec = f.gen->Generate(t, rng);
+    EXPECT_EQ(spec.relation, f.gen->GroupRelationOfTerminal(t));
+    for (const auto& cohort : spec.cohorts) {
+      for (const auto& a : cohort.accesses) {
+        EXPECT_EQ(f.catalog.RelationOfFile(a.page.file), spec.relation);
+      }
+    }
+  }
+}
+
+TEST(AccessGenerator, OneCohortPerNodeHoldingTheRelation) {
+  for (int degree : {1, 2, 4, 8}) {
+    Fixture f(degree);
+    sim::RandomStream rng(1, 2);
+    TransactionSpec spec = f.gen->Generate(5, rng);
+    EXPECT_EQ(static_cast<int>(spec.cohorts.size()), degree);
+    std::set<NodeId> nodes;
+    for (const auto& c : spec.cohorts) nodes.insert(c.node);
+    EXPECT_EQ(static_cast<int>(nodes.size()), degree);  // distinct nodes
+  }
+}
+
+TEST(AccessGenerator, CohortAccessesAreLocalToItsNode) {
+  Fixture f(4);
+  sim::RandomStream rng(1, 3);
+  TransactionSpec spec = f.gen->Generate(40, rng);
+  for (const auto& cohort : spec.cohorts) {
+    for (const auto& a : cohort.accesses) {
+      EXPECT_EQ(f.catalog.NodeOfFile(a.page.file), cohort.node);
+    }
+  }
+}
+
+TEST(AccessGenerator, PagesAreDistinctWithinTransaction) {
+  Fixture f;
+  sim::RandomStream rng(1, 4);
+  for (int i = 0; i < 50; ++i) {
+    TransactionSpec spec = f.gen->Generate(0, rng);
+    std::set<std::uint64_t> keys;
+    for (const auto& c : spec.cohorts) {
+      for (const auto& a : c.accesses) {
+        EXPECT_TRUE(keys.insert(a.page.Key()).second) << "duplicate page";
+      }
+    }
+  }
+}
+
+TEST(AccessGenerator, PerPartitionCountInFootnoteRange) {
+  // Footnote 12: cohorts access between 4 and 12 pages per partition.
+  Fixture f(1);  // one cohort holding all 8 partitions
+  sim::RandomStream rng(1, 5);
+  std::set<int> counts_seen;
+  for (int i = 0; i < 300; ++i) {
+    TransactionSpec spec = f.gen->Generate(0, rng);
+    ASSERT_EQ(spec.cohorts.size(), 1u);
+    // Count per file.
+    std::map<FileId, int> per_file;
+    for (const auto& a : spec.cohorts[0].accesses) ++per_file[a.page.file];
+    EXPECT_EQ(per_file.size(), 8u);  // every partition accessed
+    for (auto& [file, count] : per_file) {
+      EXPECT_GE(count, 4);
+      EXPECT_LE(count, 12);
+      counts_seen.insert(count);
+    }
+  }
+  EXPECT_EQ(counts_seen.size(), 9u);  // all of 4..12 appear
+}
+
+TEST(AccessGenerator, HalfToTwiceSpreadReaches16) {
+  Fixture f(1, config::PageCountSpread::kHalfToTwice);
+  sim::RandomStream rng(1, 6);
+  int max_count = 0;
+  for (int i = 0; i < 300; ++i) {
+    TransactionSpec spec = f.gen->Generate(0, rng);
+    std::map<FileId, int> per_file;
+    for (const auto& a : spec.cohorts[0].accesses) ++per_file[a.page.file];
+    for (auto& [file, count] : per_file) {
+      EXPECT_GE(count, 4);
+      EXPECT_LE(count, 16);
+      max_count = std::max(max_count, count);
+    }
+  }
+  EXPECT_GT(max_count, 12);
+}
+
+TEST(AccessGenerator, WriteFractionNearWriteProb) {
+  Fixture f;
+  sim::RandomStream rng(1, 7);
+  std::size_t reads = 0, writes = 0;
+  for (int i = 0; i < 500; ++i) {
+    TransactionSpec spec = f.gen->Generate(0, rng);
+    reads += spec.total_reads();
+    writes += spec.total_writes();
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / static_cast<double>(reads), 0.25,
+              0.02);
+}
+
+TEST(AccessGenerator, MeanAccessesNear64) {
+  Fixture f;
+  sim::RandomStream rng(1, 8);
+  std::size_t total = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) total += f.gen->Generate(0, rng).total_reads();
+  EXPECT_NEAR(static_cast<double>(total) / n, 64.0, 1.5);
+}
+
+TEST(AccessGenerator, UniformRelationChoiceCoversAllRelations) {
+  Fixture f;
+  f.cfg.workload.classes[0].relation_choice = config::RelationChoice::kUniform;
+  sim::RandomStream rng(1, 9);
+  std::set<int> relations;
+  for (int i = 0; i < 200; ++i) {
+    relations.insert(f.gen->Generate(0, rng).relation);
+  }
+  EXPECT_EQ(relations.size(), 8u);
+}
+
+TEST(AccessGenerator, ClassOfTerminalSplitsByFraction) {
+  Fixture f;
+  auto second = f.cfg.workload.classes[0];
+  f.cfg.workload.classes[0].fraction = 0.75;
+  second.fraction = 0.25;
+  f.cfg.workload.classes.push_back(second);
+  // First 96 terminals class 0, last 32 class 1.
+  EXPECT_EQ(f.gen->ClassOfTerminal(0), 0);
+  EXPECT_EQ(f.gen->ClassOfTerminal(95), 0);
+  EXPECT_EQ(f.gen->ClassOfTerminal(96), 1);
+  EXPECT_EQ(f.gen->ClassOfTerminal(127), 1);
+}
+
+TEST(AccessGenerator, ExecPatternPropagates) {
+  Fixture f;
+  f.cfg.workload.classes[0].exec_pattern = config::ExecPattern::kSequential;
+  sim::RandomStream rng(1, 10);
+  EXPECT_EQ(f.gen->Generate(0, rng).exec_pattern,
+            config::ExecPattern::kSequential);
+}
+
+// --- Source -----------------------------------------------------------------
+
+TEST(Source, ClosedLoopTerminalsAwaitCompletion) {
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  cfg.workload.num_terminals = 8;
+  cfg.database.num_relations = 8;
+  cfg.workload.think_time_sec = 1.0;
+  db::Catalog catalog(cfg.database, db::ComputePlacement(cfg.database, 8, 8));
+  sim::Simulation sim;
+
+  // Completions we never fulfill: each terminal must submit exactly once.
+  std::vector<std::shared_ptr<sim::Completion<sim::Unit>>> pending;
+  Source source(&sim, &cfg, &catalog, [&](TransactionSpec spec) {
+    (void)spec;
+    auto c = sim::MakeCompletion<sim::Unit>(&sim);
+    pending.push_back(c);
+    return c;
+  });
+  source.Start();
+  sim.RunUntil(50.0);
+  EXPECT_EQ(source.transactions_submitted(), 8u);
+}
+
+TEST(Source, CompletedTransactionsTriggerResubmission) {
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  cfg.workload.num_terminals = 8;
+  cfg.workload.think_time_sec = 1.0;
+  db::Catalog catalog(cfg.database, db::ComputePlacement(cfg.database, 8, 8));
+  sim::Simulation sim;
+
+  Source source(&sim, &cfg, &catalog, [&](TransactionSpec spec) {
+    (void)spec;
+    auto c = sim::MakeCompletion<sim::Unit>(&sim);
+    sim.After(0.5, [c] { c->Complete(sim::Unit{}); });  // instant "commit"
+    return c;
+  });
+  source.Start();
+  sim.RunUntil(30.0);
+  // Cycle time ~1.5 s (think 1 + service 0.5): expect roughly 20 per
+  // terminal over 30 s.
+  EXPECT_GT(source.transactions_submitted(), 8u * 10);
+  EXPECT_LT(source.transactions_submitted(), 8u * 40);
+}
+
+TEST(Source, ZeroThinkTimeSubmitsImmediately) {
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  cfg.workload.num_terminals = 16;
+  cfg.workload.think_time_sec = 0.0;
+  db::Catalog catalog(cfg.database, db::ComputePlacement(cfg.database, 8, 8));
+  sim::Simulation sim;
+  std::size_t submitted_at_zero = 0;
+  Source source(&sim, &cfg, &catalog, [&](TransactionSpec) {
+    if (sim.Now() == 0.0) ++submitted_at_zero;
+    return sim::MakeCompletion<sim::Unit>(&sim);
+  });
+  source.Start();
+  sim.RunUntil(1.0);
+  EXPECT_EQ(submitted_at_zero, 16u);
+}
+
+}  // namespace
+}  // namespace ccsim::workload
