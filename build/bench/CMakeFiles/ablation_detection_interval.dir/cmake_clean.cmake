@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detection_interval.dir/ablation_detection_interval.cc.o"
+  "CMakeFiles/ablation_detection_interval.dir/ablation_detection_interval.cc.o.d"
+  "ablation_detection_interval"
+  "ablation_detection_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detection_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lock_timeout.dir/ablation_lock_timeout.cc.o"
+  "CMakeFiles/ablation_lock_timeout.dir/ablation_lock_timeout.cc.o.d"
+  "ablation_lock_timeout"
+  "ablation_lock_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

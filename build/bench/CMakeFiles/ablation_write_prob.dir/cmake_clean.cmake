@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_prob.dir/ablation_write_prob.cc.o"
+  "CMakeFiles/ablation_write_prob.dir/ablation_write_prob.cc.o.d"
+  "ablation_write_prob"
+  "ablation_write_prob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_prob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_fournode.dir/exp1_fournode.cc.o"
+  "CMakeFiles/exp1_fournode.dir/exp1_fournode.cc.o.d"
+  "exp1_fournode"
+  "exp1_fournode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_fournode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

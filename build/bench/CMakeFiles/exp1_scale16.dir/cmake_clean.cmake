@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp1_scale16.dir/exp1_scale16.cc.o"
+  "CMakeFiles/exp1_scale16.dir/exp1_scale16.cc.o.d"
+  "exp1_scale16"
+  "exp1_scale16.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp1_scale16.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

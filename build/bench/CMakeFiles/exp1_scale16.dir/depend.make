@@ -1,0 +1,2 @@
+# Empty dependencies file for exp1_scale16.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp3_startup20k.dir/exp3_startup20k.cc.o"
+  "CMakeFiles/exp3_startup20k.dir/exp3_startup20k.cc.o.d"
+  "exp3_startup20k"
+  "exp3_startup20k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp3_startup20k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

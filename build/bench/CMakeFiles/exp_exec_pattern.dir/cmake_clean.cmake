@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_exec_pattern.dir/exp_exec_pattern.cc.o"
+  "CMakeFiles/exp_exec_pattern.dir/exp_exec_pattern.cc.o.d"
+  "exp_exec_pattern"
+  "exp_exec_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_exec_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

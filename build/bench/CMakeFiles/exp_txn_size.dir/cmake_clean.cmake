@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_txn_size.dir/exp_txn_size.cc.o"
+  "CMakeFiles/exp_txn_size.dir/exp_txn_size.cc.o.d"
+  "exp_txn_size"
+  "exp_txn_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_txn_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_deferred_writes.dir/ext_deferred_writes.cc.o"
+  "CMakeFiles/ext_deferred_writes.dir/ext_deferred_writes.cc.o.d"
+  "ext_deferred_writes"
+  "ext_deferred_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_deferred_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

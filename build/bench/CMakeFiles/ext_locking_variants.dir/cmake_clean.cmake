@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_locking_variants.dir/ext_locking_variants.cc.o"
+  "CMakeFiles/ext_locking_variants.dir/ext_locking_variants.cc.o.d"
+  "ext_locking_variants"
+  "ext_locking_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_locking_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

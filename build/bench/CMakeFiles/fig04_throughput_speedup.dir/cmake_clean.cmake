@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_throughput_speedup.dir/fig04_throughput_speedup.cc.o"
+  "CMakeFiles/fig04_throughput_speedup.dir/fig04_throughput_speedup.cc.o.d"
+  "fig04_throughput_speedup"
+  "fig04_throughput_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_throughput_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_response_speedup.dir/fig05_response_speedup.cc.o"
+  "CMakeFiles/fig05_response_speedup.dir/fig05_response_speedup.cc.o.d"
+  "fig05_response_speedup"
+  "fig05_response_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_response_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

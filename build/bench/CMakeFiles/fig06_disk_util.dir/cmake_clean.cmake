@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_disk_util.dir/fig06_disk_util.cc.o"
+  "CMakeFiles/fig06_disk_util.dir/fig06_disk_util.cc.o.d"
+  "fig06_disk_util"
+  "fig06_disk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_disk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cpu_util.dir/fig07_cpu_util.cc.o"
+  "CMakeFiles/fig07_cpu_util.dir/fig07_cpu_util.cc.o.d"
+  "fig07_cpu_util"
+  "fig07_cpu_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cpu_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_part_speedup_large.dir/fig08_part_speedup_large.cc.o"
+  "CMakeFiles/fig08_part_speedup_large.dir/fig08_part_speedup_large.cc.o.d"
+  "fig08_part_speedup_large"
+  "fig08_part_speedup_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_part_speedup_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

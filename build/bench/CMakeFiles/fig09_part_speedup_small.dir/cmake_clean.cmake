@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_part_speedup_small.dir/fig09_part_speedup_small.cc.o"
+  "CMakeFiles/fig09_part_speedup_small.dir/fig09_part_speedup_small.cc.o.d"
+  "fig09_part_speedup_small"
+  "fig09_part_speedup_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_part_speedup_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

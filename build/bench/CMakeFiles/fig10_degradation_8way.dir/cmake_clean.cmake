@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_degradation_8way.dir/fig10_degradation_8way.cc.o"
+  "CMakeFiles/fig10_degradation_8way.dir/fig10_degradation_8way.cc.o.d"
+  "fig10_degradation_8way"
+  "fig10_degradation_8way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_degradation_8way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

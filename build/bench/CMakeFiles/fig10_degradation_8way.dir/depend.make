@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_degradation_8way.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_degradation_1way.dir/fig11_degradation_1way.cc.o"
+  "CMakeFiles/fig11_degradation_1way.dir/fig11_degradation_1way.cc.o.d"
+  "fig11_degradation_1way"
+  "fig11_degradation_1way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_degradation_1way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

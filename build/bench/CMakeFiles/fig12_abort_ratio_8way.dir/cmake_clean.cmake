@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_abort_ratio_8way.dir/fig12_abort_ratio_8way.cc.o"
+  "CMakeFiles/fig12_abort_ratio_8way.dir/fig12_abort_ratio_8way.cc.o.d"
+  "fig12_abort_ratio_8way"
+  "fig12_abort_ratio_8way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_abort_ratio_8way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

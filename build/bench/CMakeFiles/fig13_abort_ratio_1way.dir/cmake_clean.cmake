@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_abort_ratio_1way.dir/fig13_abort_ratio_1way.cc.o"
+  "CMakeFiles/fig13_abort_ratio_1way.dir/fig13_abort_ratio_1way.cc.o.d"
+  "fig13_abort_ratio_1way"
+  "fig13_abort_ratio_1way.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_abort_ratio_1way.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

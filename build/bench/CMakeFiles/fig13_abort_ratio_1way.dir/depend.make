@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_abort_ratio_1way.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_speedup_noovh_tt0.dir/fig14_speedup_noovh_tt0.cc.o"
+  "CMakeFiles/fig14_speedup_noovh_tt0.dir/fig14_speedup_noovh_tt0.cc.o.d"
+  "fig14_speedup_noovh_tt0"
+  "fig14_speedup_noovh_tt0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_speedup_noovh_tt0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_speedup_noovh_tt0.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_speedup_noovh_tt0.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_speedup_noovh_tt8.dir/fig15_speedup_noovh_tt8.cc.o"
+  "CMakeFiles/fig15_speedup_noovh_tt8.dir/fig15_speedup_noovh_tt8.cc.o.d"
+  "fig15_speedup_noovh_tt8"
+  "fig15_speedup_noovh_tt8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_speedup_noovh_tt8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_speedup_msg4k_tt0.dir/fig16_speedup_msg4k_tt0.cc.o"
+  "CMakeFiles/fig16_speedup_msg4k_tt0.dir/fig16_speedup_msg4k_tt0.cc.o.d"
+  "fig16_speedup_msg4k_tt0"
+  "fig16_speedup_msg4k_tt0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_speedup_msg4k_tt0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_speedup_msg4k_tt0.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_speedup_msg4k_tt8.dir/fig17_speedup_msg4k_tt8.cc.o"
+  "CMakeFiles/fig17_speedup_msg4k_tt8.dir/fig17_speedup_msg4k_tt8.cc.o.d"
+  "fig17_speedup_msg4k_tt8"
+  "fig17_speedup_msg4k_tt8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_speedup_msg4k_tt8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_speedup_msg4k_tt8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_speedup_msg4k_tt8.
+# This may be replaced when dependencies are built.

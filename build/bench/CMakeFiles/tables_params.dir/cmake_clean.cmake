@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_params.dir/tables_params.cc.o"
+  "CMakeFiles/tables_params.dir/tables_params.cc.o.d"
+  "tables_params"
+  "tables_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

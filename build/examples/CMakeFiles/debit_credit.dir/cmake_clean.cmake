@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debit_credit.dir/debit_credit.cpp.o"
+  "CMakeFiles/debit_credit.dir/debit_credit.cpp.o.d"
+  "debit_credit"
+  "debit_credit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debit_credit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

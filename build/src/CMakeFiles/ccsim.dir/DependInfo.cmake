@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccsim/cc/bto.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/bto.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/bto.cc.o.d"
+  "/root/repo/src/ccsim/cc/cc_factory.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/cc_factory.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/cc_factory.cc.o.d"
+  "/root/repo/src/ccsim/cc/lock_table.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/lock_table.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/lock_table.cc.o.d"
+  "/root/repo/src/ccsim/cc/optimistic.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/optimistic.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/optimistic.cc.o.d"
+  "/root/repo/src/ccsim/cc/snoop.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/snoop.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/snoop.cc.o.d"
+  "/root/repo/src/ccsim/cc/two_phase_locking.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/two_phase_locking.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/two_phase_locking.cc.o.d"
+  "/root/repo/src/ccsim/cc/two_phase_locking_deferred.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/two_phase_locking_deferred.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/two_phase_locking_deferred.cc.o.d"
+  "/root/repo/src/ccsim/cc/two_phase_locking_timeout.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/two_phase_locking_timeout.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/two_phase_locking_timeout.cc.o.d"
+  "/root/repo/src/ccsim/cc/wait_die.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/wait_die.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/wait_die.cc.o.d"
+  "/root/repo/src/ccsim/cc/waits_for_graph.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/waits_for_graph.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/waits_for_graph.cc.o.d"
+  "/root/repo/src/ccsim/cc/wound_wait.cc" "src/CMakeFiles/ccsim.dir/ccsim/cc/wound_wait.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/cc/wound_wait.cc.o.d"
+  "/root/repo/src/ccsim/config/params.cc" "src/CMakeFiles/ccsim.dir/ccsim/config/params.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/config/params.cc.o.d"
+  "/root/repo/src/ccsim/db/catalog.cc" "src/CMakeFiles/ccsim.dir/ccsim/db/catalog.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/db/catalog.cc.o.d"
+  "/root/repo/src/ccsim/db/placement.cc" "src/CMakeFiles/ccsim.dir/ccsim/db/placement.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/db/placement.cc.o.d"
+  "/root/repo/src/ccsim/engine/node.cc" "src/CMakeFiles/ccsim.dir/ccsim/engine/node.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/engine/node.cc.o.d"
+  "/root/repo/src/ccsim/engine/serializability.cc" "src/CMakeFiles/ccsim.dir/ccsim/engine/serializability.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/engine/serializability.cc.o.d"
+  "/root/repo/src/ccsim/engine/system.cc" "src/CMakeFiles/ccsim.dir/ccsim/engine/system.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/engine/system.cc.o.d"
+  "/root/repo/src/ccsim/experiments/cache.cc" "src/CMakeFiles/ccsim.dir/ccsim/experiments/cache.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/experiments/cache.cc.o.d"
+  "/root/repo/src/ccsim/experiments/experiments.cc" "src/CMakeFiles/ccsim.dir/ccsim/experiments/experiments.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/experiments/experiments.cc.o.d"
+  "/root/repo/src/ccsim/experiments/report.cc" "src/CMakeFiles/ccsim.dir/ccsim/experiments/report.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/experiments/report.cc.o.d"
+  "/root/repo/src/ccsim/experiments/sweep.cc" "src/CMakeFiles/ccsim.dir/ccsim/experiments/sweep.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/experiments/sweep.cc.o.d"
+  "/root/repo/src/ccsim/net/network.cc" "src/CMakeFiles/ccsim.dir/ccsim/net/network.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/net/network.cc.o.d"
+  "/root/repo/src/ccsim/resource/cpu.cc" "src/CMakeFiles/ccsim.dir/ccsim/resource/cpu.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/resource/cpu.cc.o.d"
+  "/root/repo/src/ccsim/resource/disk.cc" "src/CMakeFiles/ccsim.dir/ccsim/resource/disk.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/resource/disk.cc.o.d"
+  "/root/repo/src/ccsim/resource/resource_manager.cc" "src/CMakeFiles/ccsim.dir/ccsim/resource/resource_manager.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/resource/resource_manager.cc.o.d"
+  "/root/repo/src/ccsim/sim/calendar.cc" "src/CMakeFiles/ccsim.dir/ccsim/sim/calendar.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/sim/calendar.cc.o.d"
+  "/root/repo/src/ccsim/sim/random.cc" "src/CMakeFiles/ccsim.dir/ccsim/sim/random.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/sim/random.cc.o.d"
+  "/root/repo/src/ccsim/sim/simulation.cc" "src/CMakeFiles/ccsim.dir/ccsim/sim/simulation.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/sim/simulation.cc.o.d"
+  "/root/repo/src/ccsim/stats/batch_means.cc" "src/CMakeFiles/ccsim.dir/ccsim/stats/batch_means.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/stats/batch_means.cc.o.d"
+  "/root/repo/src/ccsim/stats/histogram.cc" "src/CMakeFiles/ccsim.dir/ccsim/stats/histogram.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/stats/histogram.cc.o.d"
+  "/root/repo/src/ccsim/stats/tally.cc" "src/CMakeFiles/ccsim.dir/ccsim/stats/tally.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/stats/tally.cc.o.d"
+  "/root/repo/src/ccsim/stats/time_weighted.cc" "src/CMakeFiles/ccsim.dir/ccsim/stats/time_weighted.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/stats/time_weighted.cc.o.d"
+  "/root/repo/src/ccsim/txn/cohort.cc" "src/CMakeFiles/ccsim.dir/ccsim/txn/cohort.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/txn/cohort.cc.o.d"
+  "/root/repo/src/ccsim/txn/coordinator.cc" "src/CMakeFiles/ccsim.dir/ccsim/txn/coordinator.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/txn/coordinator.cc.o.d"
+  "/root/repo/src/ccsim/txn/transaction.cc" "src/CMakeFiles/ccsim.dir/ccsim/txn/transaction.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/txn/transaction.cc.o.d"
+  "/root/repo/src/ccsim/workload/access_generator.cc" "src/CMakeFiles/ccsim.dir/ccsim/workload/access_generator.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/workload/access_generator.cc.o.d"
+  "/root/repo/src/ccsim/workload/source.cc" "src/CMakeFiles/ccsim.dir/ccsim/workload/source.cc.o" "gcc" "src/CMakeFiles/ccsim.dir/ccsim/workload/source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cc_bto_test.cc" "tests/CMakeFiles/ccsim_tests.dir/cc_bto_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/cc_bto_test.cc.o.d"
+  "/root/repo/tests/cc_lock_table_test.cc" "tests/CMakeFiles/ccsim_tests.dir/cc_lock_table_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/cc_lock_table_test.cc.o.d"
+  "/root/repo/tests/cc_optimistic_test.cc" "tests/CMakeFiles/ccsim_tests.dir/cc_optimistic_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/cc_optimistic_test.cc.o.d"
+  "/root/repo/tests/cc_two_phase_locking_deferred_test.cc" "tests/CMakeFiles/ccsim_tests.dir/cc_two_phase_locking_deferred_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/cc_two_phase_locking_deferred_test.cc.o.d"
+  "/root/repo/tests/cc_two_phase_locking_test.cc" "tests/CMakeFiles/ccsim_tests.dir/cc_two_phase_locking_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/cc_two_phase_locking_test.cc.o.d"
+  "/root/repo/tests/cc_wait_die_timeout_test.cc" "tests/CMakeFiles/ccsim_tests.dir/cc_wait_die_timeout_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/cc_wait_die_timeout_test.cc.o.d"
+  "/root/repo/tests/cc_waits_for_graph_test.cc" "tests/CMakeFiles/ccsim_tests.dir/cc_waits_for_graph_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/cc_waits_for_graph_test.cc.o.d"
+  "/root/repo/tests/cc_wound_wait_test.cc" "tests/CMakeFiles/ccsim_tests.dir/cc_wound_wait_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/cc_wound_wait_test.cc.o.d"
+  "/root/repo/tests/config_test.cc" "tests/CMakeFiles/ccsim_tests.dir/config_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/config_test.cc.o.d"
+  "/root/repo/tests/db_test.cc" "tests/CMakeFiles/ccsim_tests.dir/db_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/db_test.cc.o.d"
+  "/root/repo/tests/distributed_scenarios_test.cc" "tests/CMakeFiles/ccsim_tests.dir/distributed_scenarios_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/distributed_scenarios_test.cc.o.d"
+  "/root/repo/tests/engine_integration_test.cc" "tests/CMakeFiles/ccsim_tests.dir/engine_integration_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/engine_integration_test.cc.o.d"
+  "/root/repo/tests/engine_serializability_test.cc" "tests/CMakeFiles/ccsim_tests.dir/engine_serializability_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/engine_serializability_test.cc.o.d"
+  "/root/repo/tests/experiments_test.cc" "tests/CMakeFiles/ccsim_tests.dir/experiments_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/experiments_test.cc.o.d"
+  "/root/repo/tests/fuzz_invariants_test.cc" "tests/CMakeFiles/ccsim_tests.dir/fuzz_invariants_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/fuzz_invariants_test.cc.o.d"
+  "/root/repo/tests/net_network_test.cc" "tests/CMakeFiles/ccsim_tests.dir/net_network_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/net_network_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/ccsim_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/resource_cpu_test.cc" "tests/CMakeFiles/ccsim_tests.dir/resource_cpu_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/resource_cpu_test.cc.o.d"
+  "/root/repo/tests/resource_disk_test.cc" "tests/CMakeFiles/ccsim_tests.dir/resource_disk_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/resource_disk_test.cc.o.d"
+  "/root/repo/tests/sim_calendar_test.cc" "tests/CMakeFiles/ccsim_tests.dir/sim_calendar_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/sim_calendar_test.cc.o.d"
+  "/root/repo/tests/sim_random_test.cc" "tests/CMakeFiles/ccsim_tests.dir/sim_random_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/sim_random_test.cc.o.d"
+  "/root/repo/tests/sim_simulation_test.cc" "tests/CMakeFiles/ccsim_tests.dir/sim_simulation_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/sim_simulation_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/ccsim_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/stats_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/ccsim_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/txn_protocol_test.cc" "tests/CMakeFiles/ccsim_tests.dir/txn_protocol_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/txn_protocol_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/ccsim_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ccsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
