@@ -96,6 +96,7 @@ LockTable::RequestResult LockTable::Request(const txn::TxnPtr& txn,
                      std::move(waiter));
   ++waiting_count_;
   txn_keys_[id].push_back(key);
+  AuditInvariants();
   return result;
 }
 
@@ -182,6 +183,7 @@ void LockTable::ReleaseAll(TxnId txn, bool abort_waiters) {
       entries_.erase(eit);
     }
   }
+  AuditInvariants();
 }
 
 bool LockTable::CancelRequest(TxnId txn, const PageRef& page) {
@@ -200,6 +202,7 @@ bool LockTable::CancelRequest(TxnId txn, const PageRef& page) {
         eit->second.queue.empty()) {
       entries_.erase(eit);
     }
+    AuditInvariants();
     return true;
   }
   return false;
@@ -207,7 +210,17 @@ bool LockTable::CancelRequest(TxnId txn, const PageRef& page) {
 
 std::vector<WaitEdge> LockTable::WaitsForEdges() const {
   std::vector<WaitEdge> edges;
-  for (const auto& [key, entry] : entries_) {
+  // entries_ is an unordered_map, and the order edges are emitted decides
+  // the DFS order (and thus the cycle found first, and thus the deadlock
+  // victim) in the WaitsForGraph built from them. Walk keys in sorted order
+  // so the edge list is identical across runs and stdlib versions.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(entries_.size());
+  // ccsim-lint: unordered-iter-ok(keys are sorted before use below)
+  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t key : keys) {
+    const Entry& entry = entries_.at(key);
     for (std::size_t i = 0; i < entry.queue.size(); ++i) {
       const Waiter& w = entry.queue[i];
       for (const auto& [hid, hmode] : entry.holders) {
@@ -247,6 +260,61 @@ bool LockTable::HoldsLock(TxnId txn, const PageRef& page) const {
   auto eit = entries_.find(page.Key());
   if (eit == entries_.end()) return false;
   return eit->second.holders.count(txn) > 0;
+}
+
+void LockTable::AuditInvariants() const {
+  if (!sim::kAuditEnabled) return;
+  std::size_t queued = 0;
+  // ccsim-lint: unordered-iter-ok(audit sweep; per-entry checks are independent)
+  for (const auto& [key, entry] : entries_) {
+    CCSIM_DCHECK_MSG(!entry.holders.empty() || !entry.queue.empty(),
+                     "empty lock entry not erased");
+    CCSIM_DCHECK_MSG(entry.holders.size() == entry.holder_refs.size(),
+                     "holder_refs out of sync with holders");
+    bool any_exclusive = false;
+    for (const auto& [hid, hmode] : entry.holders) {
+      CCSIM_DCHECK_MSG(entry.holder_refs.count(hid) == 1,
+                       "holder without a live transaction handle");
+      if (hmode == LockMode::kExclusive) any_exclusive = true;
+      auto kit = txn_keys_.find(hid);
+      CCSIM_DCHECK_MSG(kit != txn_keys_.end() &&
+                           std::find(kit->second.begin(), kit->second.end(),
+                                     key) != kit->second.end(),
+                       "holder not registered in txn_keys_");
+    }
+    CCSIM_DCHECK_MSG(!any_exclusive || entry.holders.size() == 1,
+                     "exclusive lock shared with another holder");
+
+    queued += entry.queue.size();
+    bool past_upgrade_prefix = false;
+    for (std::size_t i = 0; i < entry.queue.size(); ++i) {
+      const Waiter& w = entry.queue[i];
+      TxnId id = w.txn->id();
+      if (!w.is_upgrade) {
+        past_upgrade_prefix = true;
+      } else {
+        CCSIM_DCHECK_MSG(!past_upgrade_prefix,
+                         "upgrade queued behind a non-upgrade waiter");
+        CCSIM_DCHECK_MSG(entry.holders.count(id) == 1,
+                         "queued upgrade whose shared hold vanished");
+      }
+      // "No granted/waiting overlap": only an upgrade may appear on both
+      // sides of one entry.
+      CCSIM_DCHECK_MSG(w.is_upgrade || entry.holders.count(id) == 0,
+                       "transaction both holds and waits on one page");
+      for (std::size_t j = i + 1; j < entry.queue.size(); ++j) {
+        CCSIM_DCHECK_MSG(entry.queue[j].txn->id() != id,
+                         "transaction queued twice on one lock");
+      }
+      auto kit = txn_keys_.find(id);
+      CCSIM_DCHECK_MSG(kit != txn_keys_.end() &&
+                           std::find(kit->second.begin(), kit->second.end(),
+                                     key) != kit->second.end(),
+                       "waiter not registered in txn_keys_");
+    }
+  }
+  CCSIM_DCHECK_MSG(queued == waiting_count_,
+                   "waiting_count_ out of sync with lock queues");
 }
 
 }  // namespace ccsim::cc

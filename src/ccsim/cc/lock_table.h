@@ -100,6 +100,14 @@ class LockTable {
   const stats::Tally& wait_times() const { return wait_times_; }
   void ResetStats() { wait_times_.Reset(); }
 
+  /// Audit-mode consistency sweep over every entry: holders are mutually
+  /// compatible, no transaction is both granted and waiting on one page
+  /// (except a queued upgrade), upgrades form a prefix of the queue, no
+  /// transaction is queued twice, waiting_count_ matches the queues, and
+  /// txn_keys_ covers every holder and waiter. No-op unless built with
+  /// CCSIM_AUDIT.
+  void AuditInvariants() const;
+
  private:
   struct Waiter {
     txn::TxnPtr txn;

@@ -1,6 +1,7 @@
 #include "ccsim/cc/waits_for_graph.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "ccsim/sim/check.h"
 
@@ -95,6 +96,7 @@ void WaitsForGraph::RemoveNode(TxnId id) {
 }
 
 std::vector<TxnId> WaitsForGraph::ResolveAllDeadlocks() {
+  AuditInvariants();
   std::vector<TxnId> victims;
   for (;;) {
     auto cycle = FindAnyCycle();
@@ -104,6 +106,21 @@ std::vector<TxnId> WaitsForGraph::ResolveAllDeadlocks() {
     RemoveNode(victim);
   }
   return victims;
+}
+
+void WaitsForGraph::AuditInvariants() const {
+  if (!sim::kAuditEnabled) return;
+  for (const auto& [node, outs] : adjacency_) {
+    CCSIM_DCHECK_MSG(timestamps_.count(node) == 1,
+                     "graph node without a timestamp");
+    for (TxnId out : outs) {
+      CCSIM_DCHECK_MSG(out != node, "self-wait edge in waits-for graph");
+      CCSIM_DCHECK_MSG(adjacency_.count(out) == 1,
+                       "edge target missing from adjacency");
+      CCSIM_DCHECK_MSG(timestamps_.count(out) == 1,
+                       "edge target without a timestamp");
+    }
+  }
 }
 
 }  // namespace ccsim::cc

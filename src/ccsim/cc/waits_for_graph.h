@@ -1,7 +1,7 @@
 #ifndef CCSIM_CC_WAITS_FOR_GRAPH_H_
 #define CCSIM_CC_WAITS_FOR_GRAPH_H_
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "ccsim/cc/cc_manager.h"
@@ -40,8 +40,17 @@ class WaitsForGraph {
   std::vector<TxnId> FindAnyCycle() const;
   void RemoveNode(TxnId id);
 
-  std::unordered_map<TxnId, std::vector<TxnId>> adjacency_;
-  std::unordered_map<TxnId, Timestamp> timestamps_;
+  /// Audit-mode consistency sweep: every edge endpoint has an adjacency
+  /// node and a timestamp, and no node waits for itself. No-op unless built
+  /// with CCSIM_AUDIT.
+  void AuditInvariants() const;
+
+  // Ordered maps: FindAnyCycle() scans nodes in TxnId order, so the cycle
+  // found first - and with it the deadlock victim - is identical across
+  // runs and stdlib versions (bit-reproducibility under common random
+  // numbers; an unordered_map here made victim choice hash-order dependent).
+  std::map<TxnId, std::vector<TxnId>> adjacency_;
+  std::map<TxnId, Timestamp> timestamps_;
 };
 
 }  // namespace ccsim::cc

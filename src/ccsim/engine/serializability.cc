@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <sstream>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace ccsim::engine {
 
@@ -23,8 +22,11 @@ SerializabilityResult CheckSerializability(
     std::map<std::uint64_t, TxnId> writers;                 // version -> txn
     std::map<std::uint64_t, std::vector<TxnId>> readers;    // version -> txns
   };
-  std::unordered_map<std::uint64_t, PageHistory> pages;
-  std::unordered_set<TxnId> committed;
+  // Ordered containers end to end: the offline checker is not hot, and
+  // hash-order iteration here would make edge insertion order (and the
+  // reported cycle) vary across stdlib versions.
+  std::map<std::uint64_t, PageHistory> pages;
+  std::set<TxnId> committed;
 
   for (const CommittedTxn& t : log) {
     committed.insert(t.id);
@@ -39,8 +41,8 @@ SerializabilityResult CheckSerializability(
   }
 
   // Precedence edges.
-  std::unordered_map<TxnId, std::vector<TxnId>> adj;
-  std::unordered_map<TxnId, int> indeg;
+  std::map<TxnId, std::vector<TxnId>> adj;
+  std::map<TxnId, int> indeg;
   for (TxnId id : committed) {
     adj.try_emplace(id);
     indeg.try_emplace(id, 0);

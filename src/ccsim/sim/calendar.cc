@@ -1,36 +1,52 @@
 #include "ccsim/sim/calendar.h"
 
+#include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "ccsim/sim/check.h"
 
 namespace ccsim::sim {
 
+namespace {
+// Audit sweeps are O(pending events); run one every kAuditPeriod calendar
+// operations so audit builds stay usable on long runs.
+constexpr std::uint64_t kAuditPeriod = 64;
+}  // namespace
+
 Calendar::EventId Calendar::Schedule(SimTime time, Handler handler) {
   CCSIM_CHECK_MSG(time == time, "event scheduled at NaN time");
   CCSIM_CHECK_MSG(time < kNever, "event scheduled at infinite time");
   EventId id = next_id_++;
-  heap_.push(Entry{time, id});
+  heap_.push_back(Entry{time, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   handlers_.emplace(id, std::move(handler));
+  if (kAuditEnabled && ++audit_tick_ % kAuditPeriod == 0) AuditInvariants();
   return id;
 }
 
 bool Calendar::Cancel(EventId id) { return handlers_.erase(id) > 0; }
 
 void Calendar::SkipCancelled() {
-  while (!heap_.empty() && handlers_.find(heap_.top().id) == handlers_.end()) {
-    heap_.pop();
+  while (!heap_.empty() &&
+         handlers_.find(heap_.front().id) == handlers_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
 std::optional<Calendar::Fired> Calendar::PopNext() {
   SkipCancelled();
   if (heap_.empty()) return std::nullopt;
-  Entry top = heap_.top();
-  heap_.pop();
+  Entry top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  heap_.pop_back();
   auto it = handlers_.find(top.id);
   Fired fired{top.time, top.id, std::move(it->second)};
   handlers_.erase(it);
+  CCSIM_DCHECK_MSG(top.time >= last_fired_, "simulated time ran backwards");
+  last_fired_ = top.time;
+  if (kAuditEnabled && ++audit_tick_ % kAuditPeriod == 0) AuditInvariants();
   return fired;
 }
 
@@ -40,7 +56,33 @@ SimTime Calendar::NextTime() const {
   // used on control paths, not per-event.
   auto* self = const_cast<Calendar*>(this);
   self->SkipCancelled();
-  return heap_.empty() ? kNever : heap_.top().time;
+  return heap_.empty() ? kNever : heap_.front().time;
+}
+
+void Calendar::AuditInvariants() const {
+  if (!kAuditEnabled) return;
+  CCSIM_DCHECK_MSG(std::is_heap(heap_.begin(), heap_.end(), Later{}),
+                   "calendar heap property violated");
+  CCSIM_DCHECK_MSG(handlers_.size() <= heap_.size(),
+                   "more live handlers than heap entries");
+  std::unordered_set<EventId> pending;
+  pending.reserve(heap_.size());
+  for (const Entry& e : heap_) {
+    CCSIM_DCHECK_MSG(e.id < next_id_, "heap entry with unissued event id");
+    CCSIM_DCHECK_MSG(pending.insert(e.id).second,
+                     "duplicate event id in calendar heap");
+    // Live events must not predate the last fired event; cancelled leftovers
+    // may (their handler is gone, they will be skipped).
+    if (handlers_.count(e.id) != 0) {
+      CCSIM_DCHECK_MSG(e.time >= last_fired_,
+                       "pending event earlier than the last fired event");
+    }
+  }
+  // ccsim-lint: unordered-iter-ok(membership checks only; no order-dependent effects)
+  for (const auto& kv : handlers_) {
+    CCSIM_DCHECK_MSG(pending.count(kv.first) == 1,
+                     "live handler without a heap entry");
+  }
 }
 
 }  // namespace ccsim::sim

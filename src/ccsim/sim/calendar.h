@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -49,6 +48,13 @@ class Calendar {
   std::size_t size() const { return handlers_.size(); }
   bool empty() const { return handlers_.empty(); }
 
+  /// Audit-mode sweep: the pending-event array satisfies the heap property
+  /// under (time, id) ordering, every live handler has a heap entry, no
+  /// pending event is earlier than the last one fired (time cannot run
+  /// backwards), and ids are consistent. No-op unless built with
+  /// CCSIM_AUDIT; throttled internally because it is O(pending events).
+  void AuditInvariants() const;
+
  private:
   struct Entry {
     SimTime time;
@@ -63,9 +69,15 @@ class Calendar {
 
   void SkipCancelled();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // A binary heap managed with std::push_heap/std::pop_heap rather than a
+  // std::priority_queue: the audit sweep needs to see the underlying array
+  // to verify the heap property.
+  std::vector<Entry> heap_;
   std::unordered_map<EventId, Handler> handlers_;
   EventId next_id_ = 1;
+  SimTime last_fired_ = 0.0;
+  // Operations since the last audit sweep (audit builds only).
+  mutable std::uint64_t audit_tick_ = 0;
 };
 
 }  // namespace ccsim::sim

@@ -30,4 +30,39 @@ namespace ccsim::sim::internal {
       ::ccsim::sim::internal::CheckFailed(#cond, __FILE__, __LINE__, msg); \
   } while (0)
 
+/// Audit-only invariant check: compiled to the same abort-with-location as
+/// CCSIM_CHECK in CCSIM_AUDIT builds (-DCCSIM_AUDIT=ON), and to nothing in
+/// normal builds. Use for sweeps that are too expensive for the hot path
+/// (calendar heap ordering, lock-table queue consistency, waits-for-graph
+/// integrity, 2PC phase legality).
+#ifdef CCSIM_AUDIT
+#define CCSIM_DCHECK(cond) CCSIM_CHECK(cond)
+#define CCSIM_DCHECK_MSG(cond, msg) CCSIM_CHECK_MSG(cond, msg)
+#else
+// The condition is referenced in an unevaluated context so that variables
+// used only by audit checks do not trigger -Wunused warnings in normal
+// builds; it is never executed.
+#define CCSIM_DCHECK(cond)            \
+  do {                                \
+    (void)sizeof((cond) ? 1 : 0);     \
+  } while (0)
+#define CCSIM_DCHECK_MSG(cond, msg)   \
+  do {                                \
+    (void)sizeof((cond) ? 1 : 0);     \
+    (void)sizeof(msg);                \
+  } while (0)
+#endif
+
+namespace ccsim::sim {
+
+/// True in CCSIM_AUDIT builds; lets call sites skip the *computation* of an
+/// expensive invariant sweep, not just the check.
+#ifdef CCSIM_AUDIT
+inline constexpr bool kAuditEnabled = true;
+#else
+inline constexpr bool kAuditEnabled = false;
+#endif
+
+}  // namespace ccsim::sim
+
 #endif  // CCSIM_SIM_CHECK_H_

@@ -42,10 +42,13 @@ class Completion {
     }
   }
 
-  // Internal interface used by the awaiter.
+  // Internal interface used by the awaiter. Registers the waiter with the
+  // simulation's suspended-process registry so the frame is destroyed (not
+  // leaked) if the run ends before this completion is fulfilled.
   void SetWaiter(std::coroutine_handle<> h) {
     CCSIM_CHECK_MSG(!waiter_, "Completion awaited twice");
     waiter_ = h;
+    sim_->NoteSuspended(h);
   }
   T TakeValue() {
     CCSIM_CHECK(value_.has_value());

@@ -19,6 +19,13 @@ namespace ccsim::sim {
 /// facility may resume it, exactly once. Facilities in this codebase resume
 /// through the calendar, never inline, so a process never re-enters another
 /// process's stack frame.
+///
+/// Teardown: every suspension registers the frame with the owning
+/// Simulation's suspended-process registry; frames still suspended when the
+/// Simulation is destroyed are destroyed by it, so runs that stop mid-flight
+/// (RunUntil) do not leak coroutine frames. Because of that late destruction,
+/// process locals must be plain data — their destructors must not call back
+/// into simulation facilities.
 struct Process {
   struct promise_type {
     Process get_return_object() noexcept { return {}; }

@@ -4,6 +4,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <map>
 
 #include "ccsim/sim/calendar.h"
 #include "ccsim/sim/process.h"
@@ -21,6 +22,7 @@ class Simulation {
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
+  ~Simulation() { DestroySuspendedProcesses(); }
 
   /// Current simulated time in seconds.
   SimTime Now() const { return now_; }
@@ -62,7 +64,8 @@ class Simulation {
     DelayAwaitable(Simulation* sim, SimTime dt) : sim_(sim), dt_(dt) {}
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
-      sim_->After(dt_, [h] { h.resume(); });
+      sim_->NoteSuspended(h);
+      sim_->After(dt_, [sim = sim_, h] { sim->ResumeSuspended(h); });
     }
     void await_resume() const noexcept {}
 
@@ -77,14 +80,50 @@ class Simulation {
   /// Resumes a suspended coroutine through the calendar at the current time.
   /// This is the only sanctioned way for facilities to wake a process.
   void ResumeLater(std::coroutine_handle<> h) {
-    After(0.0, [h] { h.resume(); });
+    After(0.0, [this, h] { ResumeSuspended(h); });
   }
+
+  // --- Suspended-process registry --------------------------------------
+  //
+  // Every suspension (Delay or Completion wait) records its handle here and
+  // removes it when the process actually resumes. Whatever is still in the
+  // registry when the Simulation is torn down is a process frame no facility
+  // will ever resume again; the Simulation destroys those frames so a run
+  // that ends mid-flight (RunUntil) leaks nothing.
+
+  /// Records a coroutine as suspended, pending a calendar resume.
+  void NoteSuspended(std::coroutine_handle<> h) {
+    suspended_.emplace(h.address(), h);
+  }
+
+  /// Resumes a registered coroutine (drops it from the registry first).
+  void ResumeSuspended(std::coroutine_handle<> h) {
+    suspended_.erase(h.address());
+    h.resume();
+  }
+
+  /// Destroys every still-suspended process frame. Idempotent; called from
+  /// the destructor. Frame locals must not call back into simulation
+  /// facilities from their destructors (they are plain data in this
+  /// codebase).
+  void DestroySuspendedProcesses() {
+    auto frames = std::move(suspended_);
+    suspended_.clear();
+    for (const auto& [addr, h] : frames) h.destroy();
+  }
+
+  /// Number of process frames currently suspended (tests/audits).
+  std::size_t suspended_processes() const { return suspended_.size(); }
 
  private:
   Calendar calendar_;
   SimTime now_ = 0.0;
   bool stop_requested_ = false;
   std::uint64_t events_fired_ = 0;
+  // Keyed by frame address. An ordered map only for lint cleanliness; the
+  // teardown destruction order is unobservable (frames are destroyed after
+  // the run, and frame locals are plain data).
+  std::map<void*, std::coroutine_handle<>> suspended_;
 };
 
 }  // namespace ccsim::sim

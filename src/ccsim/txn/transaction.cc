@@ -31,6 +31,36 @@ const char* ToString(AbortReason reason) {
   return "?";
 }
 
+namespace {
+
+/// Legal arcs of the per-attempt 2PC state machine (see TxnPhase). The
+/// kRestartWait -> kRunning arc is taken by BeginAttempt(), not set_phase().
+bool LegalPhaseTransition(TxnPhase from, TxnPhase to) {
+  switch (from) {
+    case TxnPhase::kRunning:
+      return to == TxnPhase::kPreparing || to == TxnPhase::kAborting;
+    case TxnPhase::kPreparing:
+      return to == TxnPhase::kCommitting || to == TxnPhase::kAborting;
+    case TxnPhase::kCommitting:
+      return to == TxnPhase::kCommitted;
+    case TxnPhase::kAborting:
+      return to == TxnPhase::kRestartWait;
+    case TxnPhase::kRestartWait:
+    case TxnPhase::kCommitted:
+      return false;  // terminal for set_phase
+  }
+  return false;
+}
+
+}  // namespace
+
+void Transaction::set_phase(TxnPhase phase) {
+  if (sim::kAuditEnabled && !LegalPhaseTransition(phase_, phase)) {
+    CCSIM_DCHECK_MSG(false, "illegal 2PC phase transition");
+  }
+  phase_ = phase;
+}
+
 Transaction::Transaction(TxnId id, workload::TransactionSpec spec,
                          sim::SimTime origin_time,
                          std::shared_ptr<sim::Completion<sim::Unit>> done)

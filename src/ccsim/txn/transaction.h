@@ -107,7 +107,10 @@ class Transaction {
   void set_commit_ts(Timestamp ts) { commit_ts_ = ts; }
 
   TxnPhase phase() const { return phase_; }
-  void set_phase(TxnPhase phase) { phase_ = phase; }
+  /// Advances the attempt's 2PC state machine. Audit builds (CCSIM_AUDIT)
+  /// verify the transition is one of the legal arcs documented on TxnPhase;
+  /// kRestartWait -> kRunning goes through BeginAttempt(), never here.
+  void set_phase(TxnPhase phase);
 
   const workload::TransactionSpec& spec() const { return spec_; }
   int num_cohorts() const { return static_cast<int>(spec_.cohorts.size()); }

@@ -53,6 +53,7 @@ TEST_F(WoundWaitTest, WoundIgnoredWhenVictimIsCommitting) {
   mgr_.BeginCohort(young_txn, 0);
   mgr_.BeginCohort(old_txn, 0);
   mgr_.RequestAccess(young_txn, 0, p1_, AccessMode::kWrite);
+  young_txn->set_phase(txn::TxnPhase::kPreparing);
   young_txn->set_phase(txn::TxnPhase::kCommitting);  // second commit phase
   auto c = mgr_.RequestAccess(old_txn, 0, p1_, AccessMode::kWrite);
   EXPECT_FALSE(c->done());                   // still waits

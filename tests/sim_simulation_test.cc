@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "ccsim/sim/completion.h"
@@ -171,6 +172,65 @@ TEST(Latch, ZeroCountCompletesImmediately) {
   Simulation sim;
   Latch latch(&sim, 0);
   EXPECT_TRUE(latch.completion()->done());
+}
+
+// Sets *flag when destroyed; placed as a process local, it records when the
+// coroutine frame itself is destroyed.
+struct DtorFlag {
+  bool* flag;
+  ~DtorFlag() { *flag = true; }
+};
+
+Process SleepForever(Simulation* sim, bool* frame_destroyed) {
+  DtorFlag guard{frame_destroyed};
+  for (;;) co_await sim->Delay(1.0);
+}
+
+Process AwaitForever(Simulation* sim, std::shared_ptr<Completion<int>> c,
+                     bool* frame_destroyed) {
+  DtorFlag guard{frame_destroyed};
+  (void)sim;
+  (void)co_await Await(std::move(c));
+}
+
+Process DelayNTimes(Simulation* sim, int n, bool* frame_destroyed) {
+  DtorFlag guard{frame_destroyed};
+  for (int i = 0; i < n; ++i) co_await sim->Delay(1.0);
+}
+
+TEST(ProcessTeardown, DelaySuspendedFrameDestroyedWithSimulation) {
+  bool destroyed = false;
+  {
+    Simulation sim;
+    SleepForever(&sim, &destroyed);
+    sim.RunUntil(10.0);
+    EXPECT_FALSE(destroyed);
+    EXPECT_EQ(sim.suspended_processes(), 1u);
+  }
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(ProcessTeardown, CompletionSuspendedFrameDestroyedWithSimulation) {
+  bool destroyed = false;
+  {
+    Simulation sim;
+    auto c = MakeCompletion<int>(&sim);
+    AwaitForever(&sim, c, &destroyed);
+    sim.Run();  // nothing ever fulfills c
+    EXPECT_FALSE(destroyed);
+    EXPECT_EQ(sim.suspended_processes(), 1u);
+  }
+  EXPECT_TRUE(destroyed);
+}
+
+TEST(ProcessTeardown, RegistryEmptiesWhenProcessFinishesNormally) {
+  Simulation sim;
+  bool destroyed = false;
+  DelayNTimes(&sim, 3, &destroyed);
+  EXPECT_EQ(sim.suspended_processes(), 1u);
+  sim.Run();
+  EXPECT_TRUE(destroyed);  // frame auto-destroyed when the body returned
+  EXPECT_EQ(sim.suspended_processes(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,7 @@
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+// Fixture: the guard should be derived from the file path
+// (TOOLS_LINT_FIXTURES_BAD_GUARD_H_ relative to the repo root).
+
+#endif  // WRONG_GUARD_NAME_H

@@ -1,0 +1,9 @@
+// Fixture: bare assert() inside src/ must trigger bare-assert (simulator
+// invariants go through CCSIM_CHECK / CCSIM_DCHECK). Never compiled.
+
+#include <cassert>
+
+void BadAssert(int x) {
+  assert(x > 0);  // bare-assert
+  static_assert(sizeof(int) >= 4);  // fine
+}
