@@ -8,7 +8,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(ablation_write_prob) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

@@ -8,6 +8,7 @@
 #include "ccsim/experiments/cache.h"
 #include "ccsim/experiments/experiments.h"
 #include "ccsim/experiments/report.h"
+#include "ccsim/experiments/runner.h"
 #include "ccsim/experiments/sweep.h"
 
 namespace ccsim::bench {
@@ -15,6 +16,23 @@ namespace ccsim::bench {
 using experiments::At;
 using experiments::Point;
 using experiments::ResultCache;
+
+/// Figure registration. Every figure binary defines its body with
+/// CCSIM_BENCH_FIGURE(name) and links the shared bench_main.cc, which
+/// provides main(): flag parsing (--jobs) plus running every registered
+/// figure in name order. Individual binaries register exactly one figure;
+/// the run_all driver links all of them and regenerates every table and
+/// CSV in a single invocation over one shared warm cache.
+using FigureFn = int (*)();
+bool RegisterFigure(const char* name, FigureFn fn);
+
+/// Parses common bench flags (--jobs N / --jobs=N sets the ParallelRunner
+/// pool size; $CCSIM_JOBS is the env equivalent). Exits on unknown flags.
+void InitBench(int argc, char** argv);
+
+/// Runs every registered figure in name order; returns the first non-zero
+/// figure exit code, else 0.
+int RunRegisteredFigures();
 
 inline const std::vector<config::CcAlgorithm>& Algorithms() {
   static const std::vector<config::CcAlgorithm> algs(
@@ -88,5 +106,13 @@ inline void ReportSeries(const std::string& slug, const std::string& title,
 }
 
 }  // namespace ccsim::bench
+
+/// Defines the body of one figure and registers it under `name` (which is
+/// also the binary's CMake target name).
+#define CCSIM_BENCH_FIGURE(name)                                     \
+  static int name##_figure_body();                                   \
+  [[maybe_unused]] static const bool name##_registered =             \
+      ccsim::bench::RegisterFigure(#name, &name##_figure_body);      \
+  static int name##_figure_body()
 
 #endif  // CCSIM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,92 @@
+// Shared main() for all figure binaries and the run_all driver: figure
+// registry, common flag parsing, and the run loop. Each binary links this
+// file plus one or more CCSIM_BENCH_FIGURE translation units.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ccsim::bench {
+
+namespace {
+
+std::vector<std::pair<std::string, FigureFn>>& Registry() {
+  static std::vector<std::pair<std::string, FigureFn>> figures;
+  return figures;
+}
+
+[[noreturn]] void Usage(const char* argv0, int rc) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--jobs N]\n"
+      "  --jobs N   simulation worker threads (default: $CCSIM_JOBS, else\n"
+      "             hardware concurrency). Parallelism only changes wall\n"
+      "             time: results are bit-identical to --jobs 1.\n",
+      argv0);
+  std::exit(rc);
+}
+
+}  // namespace
+
+bool RegisterFigure(const char* name, FigureFn fn) {
+  Registry().emplace_back(name, fn);
+  return true;
+}
+
+void InitBench(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      Usage(argv[0], 0);
+    } else if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      if (i + 1 >= argc) Usage(argv[0], 2);
+      value = argv[++i];
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], arg);
+      Usage(argv[0], 2);
+    }
+    if (value != nullptr) {
+      char* end = nullptr;
+      long jobs = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || jobs < 1) {
+        std::fprintf(stderr, "%s: --jobs needs a positive integer, got '%s'\n",
+                     argv[0], value);
+        std::exit(2);
+      }
+      experiments::SetDefaultJobs(static_cast<int>(jobs));
+    }
+  }
+}
+
+int RunRegisteredFigures() {
+  auto& figures = Registry();
+  // Static-initialization order across translation units is unspecified;
+  // name order makes run_all output deterministic.
+  std::sort(figures.begin(), figures.end());
+  int rc = 0;
+  for (const auto& [name, fn] : figures) {
+    if (figures.size() > 1) {
+      std::printf("==================== %s ====================\n",
+                  name.c_str());
+    }
+    int figure_rc = fn();
+    if (rc == 0 && figure_rc != 0) rc = figure_rc;
+  }
+  return rc;
+}
+
+}  // namespace ccsim::bench
+
+int main(int argc, char** argv) {
+  ccsim::bench::InitBench(argc, argv);
+  return ccsim::bench::RunRegisteredFigures();
+}

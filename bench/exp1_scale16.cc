@@ -6,7 +6,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(exp1_scale16) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

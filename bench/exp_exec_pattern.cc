@@ -7,7 +7,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(exp_exec_pattern) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

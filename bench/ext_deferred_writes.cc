@@ -7,7 +7,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(ext_deferred_writes) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

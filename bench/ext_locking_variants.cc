@@ -5,7 +5,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(ext_locking_variants) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

@@ -2,7 +2,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(fig04_throughput_speedup) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

@@ -2,7 +2,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(fig06_disk_util) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

@@ -3,7 +3,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(fig09_part_speedup_small) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

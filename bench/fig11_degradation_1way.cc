@@ -3,7 +3,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(fig11_degradation_1way) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

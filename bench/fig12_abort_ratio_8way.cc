@@ -3,7 +3,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(fig12_abort_ratio_8way) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

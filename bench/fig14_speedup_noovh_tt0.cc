@@ -17,7 +17,7 @@ void PrintDegreeSpeedup(const char* title,
 }
 }  // namespace
 
-int main() {
+CCSIM_BENCH_FIGURE(fig14_speedup_noovh_tt0) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

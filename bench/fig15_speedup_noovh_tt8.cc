@@ -3,7 +3,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(fig15_speedup_noovh_tt8) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

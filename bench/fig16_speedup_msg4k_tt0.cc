@@ -3,7 +3,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(fig16_speedup_msg4k_tt0) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

@@ -3,7 +3,7 @@
 
 #include "bench_common.h"
 
-int main() {
+CCSIM_BENCH_FIGURE(fig17_speedup_msg4k_tt8) {
   using namespace ccsim;
   using namespace ccsim::bench;
   experiments::PrintFigureHeader(

@@ -6,7 +6,9 @@
 
 #include "ccsim/config/params.h"
 
-int main() {
+#include "bench_common.h"
+
+CCSIM_BENCH_FIGURE(tables_params) {
   using namespace ccsim::config;
   SystemConfig cfg = PaperBaseConfig();
 

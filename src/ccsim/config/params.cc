@@ -107,6 +107,8 @@ std::uint64_t SystemConfig::Fingerprint() const {
   if (workload.fake_restarts) h.Mix(workload.fake_restarts);
   if (algorithm == CcAlgorithm::kTwoPhaseLockingTimeout)
     h.Mix(locking.timeout_sec);
+  // rt_batch_size changes rt_ci_half_width, so it must key the cache too.
+  if (run.rt_batch_size != RunParams{}.rt_batch_size) h.Mix(run.rt_batch_size);
   h.Mix(static_cast<int>(workload.classes.size()));
   for (const auto& c : workload.classes) {
     h.Mix(c.fraction);

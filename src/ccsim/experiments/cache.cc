@@ -1,10 +1,15 @@
 #include "ccsim/experiments/cache.h"
 
+#include <unistd.h>
+
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include "ccsim/sim/check.h"
@@ -13,7 +18,89 @@ namespace ccsim::experiments {
 
 namespace {
 constexpr char kDefaultDir[] = "ccsim_bench_cache";
-constexpr int kFormatVersion = 4;  // bump when RunResult fields change
+constexpr int kFormatVersion = 5;  // bump when RunResult fields change
+
+// One serialized field of RunResult. Serialization and parsing both walk
+// this table, so the two cannot drift apart and the field count in the
+// trailer is derived, not hand-maintained. Integer counters are written and
+// parsed as integers: routing them through double would silently corrupt
+// values above 2^53.
+enum class FieldType { kDouble, kU64, kBool };
+
+struct Field {
+  const char* key;
+  FieldType type;
+  double engine::RunResult::*d;
+  std::uint64_t engine::RunResult::*u;
+  bool engine::RunResult::*b;
+};
+
+constexpr Field D(const char* key, double engine::RunResult::*m) {
+  return {key, FieldType::kDouble, m, nullptr, nullptr};
+}
+constexpr Field U(const char* key, std::uint64_t engine::RunResult::*m) {
+  return {key, FieldType::kU64, nullptr, m, nullptr};
+}
+constexpr Field B(const char* key, bool engine::RunResult::*m) {
+  return {key, FieldType::kBool, nullptr, nullptr, m};
+}
+
+using R = engine::RunResult;
+constexpr Field kFields[] = {
+    D("throughput", &R::throughput),
+    D("mean_response_time", &R::mean_response_time),
+    D("rt_ci_half_width", &R::rt_ci_half_width),
+    D("max_response_time", &R::max_response_time),
+    D("rt_p50", &R::rt_p50),
+    D("rt_p90", &R::rt_p90),
+    D("rt_p99", &R::rt_p99),
+    U("commits", &R::commits),
+    U("aborts", &R::aborts),
+    D("abort_ratio", &R::abort_ratio),
+    U("aborts_local_deadlock", &R::aborts_local_deadlock),
+    U("aborts_global_deadlock", &R::aborts_global_deadlock),
+    U("aborts_wound", &R::aborts_wound),
+    U("aborts_timestamp", &R::aborts_timestamp),
+    U("aborts_certification", &R::aborts_certification),
+    U("aborts_die", &R::aborts_die),
+    U("aborts_timeout", &R::aborts_timeout),
+    D("host_cpu_util", &R::host_cpu_util),
+    D("proc_cpu_util", &R::proc_cpu_util),
+    D("disk_util", &R::disk_util),
+    D("mean_blocking_time", &R::mean_blocking_time),
+    U("blocked_waits", &R::blocked_waits),
+    D("messages_per_commit", &R::messages_per_commit),
+    U("transactions_submitted", &R::transactions_submitted),
+    U("live_at_end", &R::live_at_end),
+    U("events", &R::events),
+    D("sim_seconds", &R::sim_seconds),
+    D("wall_seconds", &R::wall_seconds),
+    B("audited", &R::audited),
+    B("serializable", &R::serializable),
+};
+constexpr std::size_t kNumFields = std::size(kFields);
+static_assert(kNumFields <= 64, "seen-field mask below is a uint64");
+
+bool ParseDouble(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64(const std::string& token, std::uint64_t* out) {
+  if (token.empty() || token[0] == '-' || token[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 ResultCache::ResultCache() {
@@ -33,36 +120,16 @@ std::string ResultCache::PathFor(const config::SystemConfig& config) const {
 std::string SerializeResult(const engine::RunResult& r) {
   std::ostringstream out;
   out.precision(17);
-  out << "throughput " << r.throughput << "\n"
-      << "mean_response_time " << r.mean_response_time << "\n"
-      << "rt_ci_half_width " << r.rt_ci_half_width << "\n"
-      << "max_response_time " << r.max_response_time << "\n"
-      << "rt_p50 " << r.rt_p50 << "\n"
-      << "rt_p90 " << r.rt_p90 << "\n"
-      << "rt_p99 " << r.rt_p99 << "\n"
-      << "commits " << r.commits << "\n"
-      << "aborts " << r.aborts << "\n"
-      << "abort_ratio " << r.abort_ratio << "\n"
-      << "aborts_local_deadlock " << r.aborts_local_deadlock << "\n"
-      << "aborts_global_deadlock " << r.aborts_global_deadlock << "\n"
-      << "aborts_wound " << r.aborts_wound << "\n"
-      << "aborts_timestamp " << r.aborts_timestamp << "\n"
-      << "aborts_certification " << r.aborts_certification << "\n"
-      << "aborts_die " << r.aborts_die << "\n"
-      << "aborts_timeout " << r.aborts_timeout << "\n"
-      << "host_cpu_util " << r.host_cpu_util << "\n"
-      << "proc_cpu_util " << r.proc_cpu_util << "\n"
-      << "disk_util " << r.disk_util << "\n"
-      << "mean_blocking_time " << r.mean_blocking_time << "\n"
-      << "blocked_waits " << r.blocked_waits << "\n"
-      << "messages_per_commit " << r.messages_per_commit << "\n"
-      << "transactions_submitted " << r.transactions_submitted << "\n"
-      << "live_at_end " << r.live_at_end << "\n"
-      << "events " << r.events << "\n"
-      << "sim_seconds " << r.sim_seconds << "\n"
-      << "wall_seconds " << r.wall_seconds << "\n"
-      << "audited " << (r.audited ? 1 : 0) << "\n"
-      << "serializable " << (r.serializable ? 1 : 0) << "\n";
+  for (const Field& f : kFields) {
+    out << f.key << ' ';
+    switch (f.type) {
+      case FieldType::kDouble: out << r.*(f.d); break;
+      case FieldType::kU64: out << r.*(f.u); break;
+      case FieldType::kBool: out << (r.*(f.b) ? 1 : 0); break;
+    }
+    out << '\n';
+  }
+  out << "field_count " << kNumFields << '\n';
   return out.str();
 }
 
@@ -70,45 +137,55 @@ std::optional<engine::RunResult> ParseResult(const std::string& text) {
   engine::RunResult r;
   std::istringstream in(text);
   std::string key;
-  int fields = 0;
+  std::string token;
+  std::uint64_t fields = 0;
+  std::uint64_t seen = 0;
   while (in >> key) {
-    double value = 0;
-    if (!(in >> value)) return std::nullopt;
+    if (!(in >> token)) return std::nullopt;  // key without a value
+    if (key == "field_count") {
+      // The trailer is written last; anything after it, a count mismatch,
+      // or missing known fields marks a truncated or corrupt file.
+      std::uint64_t expected = 0;
+      if (!ParseU64(token, &expected)) return std::nullopt;
+      if (expected != fields) return std::nullopt;
+      if (in >> key) return std::nullopt;
+      constexpr std::uint64_t kAllSeen = (std::uint64_t{1} << kNumFields) - 1;
+      if (seen != kAllSeen) return std::nullopt;
+      return r;
+    }
     ++fields;
-    if (key == "throughput") r.throughput = value;
-    else if (key == "mean_response_time") r.mean_response_time = value;
-    else if (key == "rt_ci_half_width") r.rt_ci_half_width = value;
-    else if (key == "max_response_time") r.max_response_time = value;
-    else if (key == "rt_p50") r.rt_p50 = value;
-    else if (key == "rt_p90") r.rt_p90 = value;
-    else if (key == "rt_p99") r.rt_p99 = value;
-    else if (key == "commits") r.commits = static_cast<std::uint64_t>(value);
-    else if (key == "aborts") r.aborts = static_cast<std::uint64_t>(value);
-    else if (key == "abort_ratio") r.abort_ratio = value;
-    else if (key == "aborts_local_deadlock") r.aborts_local_deadlock = static_cast<std::uint64_t>(value);
-    else if (key == "aborts_global_deadlock") r.aborts_global_deadlock = static_cast<std::uint64_t>(value);
-    else if (key == "aborts_wound") r.aborts_wound = static_cast<std::uint64_t>(value);
-    else if (key == "aborts_timestamp") r.aborts_timestamp = static_cast<std::uint64_t>(value);
-    else if (key == "aborts_certification") r.aborts_certification = static_cast<std::uint64_t>(value);
-    else if (key == "aborts_die") r.aborts_die = static_cast<std::uint64_t>(value);
-    else if (key == "aborts_timeout") r.aborts_timeout = static_cast<std::uint64_t>(value);
-    else if (key == "host_cpu_util") r.host_cpu_util = value;
-    else if (key == "proc_cpu_util") r.proc_cpu_util = value;
-    else if (key == "disk_util") r.disk_util = value;
-    else if (key == "mean_blocking_time") r.mean_blocking_time = value;
-    else if (key == "blocked_waits") r.blocked_waits = static_cast<std::uint64_t>(value);
-    else if (key == "messages_per_commit") r.messages_per_commit = value;
-    else if (key == "transactions_submitted") r.transactions_submitted = static_cast<std::uint64_t>(value);
-    else if (key == "live_at_end") r.live_at_end = static_cast<std::uint64_t>(value);
-    else if (key == "events") r.events = static_cast<std::uint64_t>(value);
-    else if (key == "sim_seconds") r.sim_seconds = value;
-    else if (key == "wall_seconds") r.wall_seconds = value;
-    else if (key == "audited") r.audited = value != 0;
-    else if (key == "serializable") r.serializable = value != 0;
-    else --fields;  // unknown key: tolerated (forward compatibility)
+    bool known = false;
+    for (std::size_t i = 0; i < kNumFields; ++i) {
+      if (key != kFields[i].key) continue;
+      known = true;
+      const Field& f = kFields[i];
+      switch (f.type) {
+        case FieldType::kDouble:
+          if (!ParseDouble(token, &(r.*(f.d)))) return std::nullopt;
+          break;
+        case FieldType::kU64:
+          if (!ParseU64(token, &(r.*(f.u)))) return std::nullopt;
+          break;
+        case FieldType::kBool: {
+          std::uint64_t v = 0;
+          if (!ParseU64(token, &v)) return std::nullopt;
+          r.*(f.b) = v != 0;
+          break;
+        }
+      }
+      seen |= std::uint64_t{1} << i;
+      break;
+    }
+    if (!known) {
+      // Unknown key: tolerated for forward compatibility (a newer writer's
+      // extra fields still count toward its field_count trailer).
+      double ignored = 0;
+      std::uint64_t ignored_u = 0;
+      if (!ParseDouble(token, &ignored) && !ParseU64(token, &ignored_u))
+        return std::nullopt;
+    }
   }
-  if (fields < 18) return std::nullopt;
-  return r;
+  return std::nullopt;  // no trailer: truncated file
 }
 
 std::optional<engine::RunResult> ResultCache::Load(
@@ -120,26 +197,73 @@ std::optional<engine::RunResult> ResultCache::Load(
   return ParseResult(buffer.str());
 }
 
-void ResultCache::Store(const config::SystemConfig& config,
+bool ResultCache::Store(const config::SystemConfig& config,
                         const engine::RunResult& result) const {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
-  std::string path = PathFor(config);
-  std::string tmp = path + ".tmp";
+  const std::string path = PathFor(config);
+  // Unique per-writer temp name: concurrent writers (worker threads, or
+  // whole processes sharing the cache directory) must never interleave
+  // output into one temp file. pid disambiguates processes, the sequence
+  // number disambiguates threads within one.
+  static std::atomic<std::uint64_t> temp_seq{0};
+  char suffix[64];
+  std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%llu",
+                static_cast<long>(::getpid()),
+                static_cast<unsigned long long>(
+                    temp_seq.fetch_add(1, std::memory_order_relaxed)));
+  const std::string tmp = path + suffix;
   {
     std::ofstream out(tmp);
-    CCSIM_CHECK_MSG(static_cast<bool>(out), "cannot write result cache file");
+    if (!out) return false;
     out << SerializeResult(result);
+    out.flush();
+    if (!out) {
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
   }
   std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    // Publishing failed; don't leave the temp file behind. The caller falls
+    // back to Load in case a concurrent writer published meanwhile.
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    return false;
+  }
+  return true;
 }
 
 engine::RunResult ResultCache::GetOrRun(
     const config::SystemConfig& config) const {
-  if (auto cached = Load(config)) return *cached;
-  engine::RunResult result = engine::RunSimulation(config);
-  Store(config, result);
-  return result;
+  const std::uint64_t key = config.Fingerprint();
+  for (;;) {
+    if (auto cached = Load(config)) return *cached;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (inflight_.count(key) > 0) {
+        // Another thread is simulating this point: wait for it to publish,
+        // then loop back and load its result instead of duplicating work.
+        cv_.wait(lock, [&] { return inflight_.count(key) == 0; });
+        continue;
+      }
+      inflight_.insert(key);
+    }
+    simulations_run_.fetch_add(1, std::memory_order_relaxed);
+    engine::RunResult result = engine::RunSimulation(config);
+    const bool stored = Store(config, result);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    cv_.notify_all();
+    if (!stored) {
+      // Prefer the published entry when one exists so every caller of this
+      // key observes one canonical result.
+      if (auto other = Load(config)) return *other;
+    }
+    return result;
+  }
 }
 
 }  // namespace ccsim::experiments

@@ -1,0 +1,150 @@
+#include "ccsim/experiments/runner.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace ccsim::experiments {
+
+namespace {
+
+std::atomic<int> g_default_jobs{0};
+
+int HardwareJobs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int EnvJobs() {
+  const char* env = std::getenv("CCSIM_JOBS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') return 0;
+  return v > 0 ? static_cast<int>(v) : 0;
+}
+
+}  // namespace
+
+void SetDefaultJobs(int jobs) {
+  g_default_jobs.store(jobs > 0 ? jobs : 0, std::memory_order_relaxed);
+}
+
+int ResolveJobs(int requested) {
+  if (requested > 0) return requested;
+  if (int v = g_default_jobs.load(std::memory_order_relaxed); v > 0) return v;
+  if (int v = EnvJobs(); v > 0) return v;
+  return HardwareJobs();
+}
+
+ParallelRunner::ParallelRunner(const ResultCache& cache, RunnerOptions options)
+    : cache_(cache), options_(options) {}
+
+std::vector<engine::RunResult> ParallelRunner::Run(
+    const std::vector<config::SystemConfig>& configs) const {
+  const std::size_t n = configs.size();
+
+  // Deduplicate by fingerprint: figures share sweep points (Figs 2-7 are all
+  // views of the machine-size experiment), so each unique point simulates at
+  // most once per batch. `unique_of[i]` maps input i to its unique job.
+  std::unordered_map<std::uint64_t, std::size_t> job_by_fingerprint;
+  std::vector<std::size_t> unique_of(n);
+  std::vector<std::size_t> unique_inputs;  // first input index per unique job
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [it, inserted] =
+        job_by_fingerprint.try_emplace(configs[i].Fingerprint(),
+                                       unique_inputs.size());
+    if (inserted) unique_inputs.push_back(i);
+    unique_of[i] = it->second;
+  }
+
+  const std::size_t num_unique = unique_inputs.size();
+  std::vector<engine::RunResult> unique_results(num_unique);
+
+  // Serve cached points immediately; only misses go to the pool.
+  std::vector<std::size_t> pending;  // indices into unique_inputs
+  for (std::size_t u = 0; u < num_unique; ++u) {
+    if (auto cached = cache_.Load(configs[unique_inputs[u]])) {
+      unique_results[u] = *cached;
+    } else {
+      pending.push_back(u);
+    }
+  }
+
+  const std::size_t total = pending.size();
+  if (options_.verbose && total > 0) {
+    std::fprintf(stderr,
+                 "[runner] %zu point(s): %zu cached, %zu to simulate\n",
+                 num_unique, num_unique - total, total);
+  }
+
+  if (total > 0) {
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(ResolveJobs(options_.jobs)), total));
+
+    // Progress accounting, shared by all workers. Completed wall times feed
+    // the ETA: remaining points x mean wall time, divided over the pool.
+    std::mutex progress_mu;
+    std::size_t done = 0;
+    double wall_sum = 0.0;
+
+    auto run_one = [&](std::size_t pending_index) {
+      const std::size_t u = pending[pending_index];
+      const config::SystemConfig& cfg = configs[unique_inputs[u]];
+      engine::RunResult result = cache_.GetOrRun(cfg);
+      unique_results[u] = result;
+      if (options_.verbose) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        ++done;
+        wall_sum += result.wall_seconds;
+        double eta = done > 0
+                         ? (wall_sum / static_cast<double>(done)) *
+                               static_cast<double>(total - done) /
+                               static_cast<double>(workers)
+                         : 0.0;
+        std::fprintf(stderr,
+                     "  [sim] %-6s think=%-6.4g nodes=%d deg=%d thr=%8.3f "
+                     "(%.1fs wall) [%zu/%zu, eta ~%.0fs]\n",
+                     config::ToString(cfg.algorithm),
+                     cfg.workload.think_time_sec, cfg.machine.num_proc_nodes,
+                     cfg.placement.degree, result.throughput,
+                     result.wall_seconds, done, total, eta);
+      }
+    };
+
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < total; ++i) run_one(i);
+    } else {
+      // Each worker claims the next pending point; every simulation is an
+      // isolated single-threaded run, so workers share nothing but the
+      // claim counter, the cache, and the progress line.
+      std::atomic<std::size_t> next{0};
+      std::vector<std::jthread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+          for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total) break;
+            run_one(i);
+          }
+        });
+      }
+    }  // jthread joins here: all results are published before assembly
+  }
+
+  // Reassemble in deterministic input (grid) order.
+  std::vector<engine::RunResult> results;
+  results.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    results.push_back(unique_results[unique_of[i]]);
+  }
+  return results;
+}
+
+}  // namespace ccsim::experiments

@@ -1,0 +1,57 @@
+#ifndef CCSIM_EXPERIMENTS_RUNNER_H_
+#define CCSIM_EXPERIMENTS_RUNNER_H_
+
+#include <vector>
+
+#include "ccsim/config/params.h"
+#include "ccsim/engine/run.h"
+#include "ccsim/experiments/cache.h"
+
+namespace ccsim::experiments {
+
+/// How many worker threads the runner uses. Resolution order:
+///   explicit `requested` > 0   (e.g. a --jobs flag)
+///   > SetDefaultJobs() value   (set once by the bench arg parser)
+///   > $CCSIM_JOBS
+///   > std::thread::hardware_concurrency()
+/// Always at least 1.
+int ResolveJobs(int requested = 0);
+
+/// Process-wide default consumed by ResolveJobs (the --jobs flag). Values
+/// <= 0 clear the override.
+void SetDefaultJobs(int jobs);
+
+struct RunnerOptions {
+  int jobs = 0;         // <= 0: resolve via ResolveJobs()
+  bool verbose = true;  // progress + per-point lines on stderr
+};
+
+/// Runs a batch of simulation points through a worker pool, one isolated
+/// single-threaded Simulation per worker at a time. Parallelism lives here,
+/// in the experiment layer, and never inside a Simulation: every point is
+/// bit-identical to what the sequential path produces (same config, same
+/// seed, no shared mutable state), so `--jobs N` only changes wall-clock
+/// time, never results.
+///
+/// Points are deduplicated by SystemConfig::Fingerprint() before scheduling
+/// (figures share sweep points; each unique point simulates at most once),
+/// cached points are served without touching the pool, and results are
+/// reassembled in input order regardless of completion order.
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(const ResultCache& cache, RunnerOptions options = {});
+
+  /// Returns one RunResult per input config, in input order. Invalid
+  /// configurations abort via the engine's own validation, exactly as the
+  /// sequential path does.
+  std::vector<engine::RunResult> Run(
+      const std::vector<config::SystemConfig>& configs) const;
+
+ private:
+  const ResultCache& cache_;
+  RunnerOptions options_;
+};
+
+}  // namespace ccsim::experiments
+
+#endif  // CCSIM_EXPERIMENTS_RUNNER_H_

@@ -1,31 +1,46 @@
 #include "ccsim/experiments/sweep.h"
 
-#include <cstdio>
+#include <cmath>
 
+#include "ccsim/experiments/runner.h"
 #include "ccsim/sim/check.h"
 
 namespace ccsim::experiments {
+
+namespace {
+
+// Sweep x values are compared with a relative epsilon: callers often
+// recompute an x (e.g. `i * 0.1` at the call site vs a literal in the grid),
+// and exact double equality would silently miss the point.
+bool SameX(double a, double b) {
+  if (a == b) return true;
+  double scale = std::fmax(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= 1e-9 * std::fmax(1.0, scale);
+}
+
+}  // namespace
 
 std::vector<Point> RunGrid(const ResultCache& cache,
                            const std::vector<config::CcAlgorithm>& algorithms,
                            const std::vector<double>& xs, const ConfigFn& make,
                            bool verbose) {
-  std::vector<Point> points;
-  points.reserve(algorithms.size() * xs.size());
+  std::vector<config::SystemConfig> configs;
+  configs.reserve(algorithms.size() * xs.size());
   for (config::CcAlgorithm alg : algorithms) {
     for (double x : xs) {
-      config::SystemConfig cfg = make(alg, x);
-      bool cached = cache.Load(cfg).has_value();
-      engine::RunResult result = cache.GetOrRun(cfg);
-      if (verbose && !cached) {
-        std::fprintf(stderr,
-                     "  [sim] %-5s x=%-7.4g thr=%8.3f rt=%8.3f "
-                     "(%.1fs wall, %llu events)\n",
-                     config::ToString(alg), x, result.throughput,
-                     result.mean_response_time, result.wall_seconds,
-                     static_cast<unsigned long long>(result.events));
-      }
-      points.push_back(Point{alg, x, result});
+      configs.push_back(make(alg, x));
+    }
+  }
+
+  ParallelRunner runner(cache, RunnerOptions{.jobs = 0, .verbose = verbose});
+  std::vector<engine::RunResult> results = runner.Run(configs);
+
+  std::vector<Point> points;
+  points.reserve(configs.size());
+  std::size_t i = 0;
+  for (config::CcAlgorithm alg : algorithms) {
+    for (double x : xs) {
+      points.push_back(Point{alg, x, results[i++]});
     }
   }
   return points;
@@ -34,7 +49,7 @@ std::vector<Point> RunGrid(const ResultCache& cache,
 const engine::RunResult& At(const std::vector<Point>& points,
                             config::CcAlgorithm algorithm, double x) {
   for (const Point& p : points) {
-    if (p.algorithm == algorithm && p.x == x) return p.result;
+    if (p.algorithm == algorithm && SameX(p.x, x)) return p.result;
   }
   CCSIM_CHECK_MSG(false, "sweep point not found");
   static engine::RunResult dummy;

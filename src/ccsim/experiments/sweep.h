@@ -21,14 +21,17 @@ struct Point {
 using ConfigFn =
     std::function<config::SystemConfig(config::CcAlgorithm, double)>;
 
-/// Runs algorithms x xs through the cache. Prints one progress line per
-/// fresh (uncached) simulation when `verbose`.
+/// Runs algorithms x xs through the cache via the ParallelRunner (worker
+/// pool sized by --jobs / $CCSIM_JOBS, default hardware concurrency).
+/// Results come back in grid order and are bit-identical to a sequential
+/// run. Prints progress per completed simulation when `verbose`.
 std::vector<Point> RunGrid(const ResultCache& cache,
                            const std::vector<config::CcAlgorithm>& algorithms,
                            const std::vector<double>& xs, const ConfigFn& make,
                            bool verbose = true);
 
-/// Finds the point for (algorithm, x); aborts if absent.
+/// Finds the point for (algorithm, x); aborts if absent. x matches with a
+/// relative epsilon, so values recomputed at the call site still hit.
 const engine::RunResult& At(const std::vector<Point>& points,
                             config::CcAlgorithm algorithm, double x);
 

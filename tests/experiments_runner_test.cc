@@ -1,0 +1,315 @@
+// Tests for the parallel experiment runner and the concurrency-safe result
+// cache: parallel results must be bit-identical to the sequential path,
+// concurrent GetOrRun calls for one configuration must run one simulation,
+// and the cache serialization must round-trip integer counters exactly and
+// reject truncated files. Regression coverage for the At() double-equality
+// and Fingerprint rt_batch_size cache-key bugs rides along.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ccsim/config/params.h"
+#include "ccsim/experiments/cache.h"
+#include "ccsim/experiments/runner.h"
+#include "ccsim/experiments/sweep.h"
+#include "test_util.h"
+
+namespace ccsim::experiments {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("ccsim_runner_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  std::string str() const { return path_.string(); }
+
+ private:
+  static int counter_;
+  std::filesystem::path path_;
+};
+int TempDir::counter_ = 0;
+
+config::SystemConfig TinyConfig(config::CcAlgorithm alg, double think) {
+  auto cfg = test::SmallConfig(alg, think);
+  cfg.run.warmup_sec = 5;
+  cfg.run.measure_sec = 20;
+  return cfg;
+}
+
+// Serialized form with wall_seconds (host timing, legitimately run-to-run
+// different) zeroed: equal strings mean bit-identical metrics.
+std::string MetricsDigest(engine::RunResult r) {
+  r.wall_seconds = 0.0;
+  return SerializeResult(r);
+}
+
+int CacheFilesIn(const std::string& dir, int* temp_files) {
+  int results = 0;
+  *temp_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.find(".tmp") != std::string::npos) {
+      ++*temp_files;
+    } else {
+      ++results;
+    }
+  }
+  return results;
+}
+
+TEST(ParallelRunner, MatchesSequentialDigestOnAGrid) {
+  std::vector<config::SystemConfig> configs;
+  for (auto alg : {config::CcAlgorithm::kNoDc,
+                   config::CcAlgorithm::kTwoPhaseLocking}) {
+    for (double think : {1.0, 5.0}) {
+      configs.push_back(TinyConfig(alg, think));
+    }
+  }
+
+  TempDir seq_dir;
+  ResultCache seq_cache(seq_dir.str());
+  ParallelRunner sequential(seq_cache,
+                            RunnerOptions{.jobs = 1, .verbose = false});
+  auto seq = sequential.Run(configs);
+
+  TempDir par_dir;
+  ResultCache par_cache(par_dir.str());
+  ParallelRunner parallel(par_cache,
+                          RunnerOptions{.jobs = 4, .verbose = false});
+  auto par = parallel.Run(configs);
+
+  ASSERT_EQ(seq.size(), configs.size());
+  ASSERT_EQ(par.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(MetricsDigest(seq[i]), MetricsDigest(par[i])) << "point " << i;
+    EXPECT_GT(par[i].commits, 0u) << "point " << i;
+  }
+}
+
+TEST(ParallelRunner, DeduplicatesByFingerprint) {
+  // Three copies of one point plus one distinct point: two simulations.
+  auto a = TinyConfig(config::CcAlgorithm::kNoDc, 2.0);
+  auto b = TinyConfig(config::CcAlgorithm::kNoDc, 6.0);
+  std::vector<config::SystemConfig> configs{a, b, a, a};
+
+  TempDir dir;
+  ResultCache cache(dir.str());
+  ParallelRunner runner(cache, RunnerOptions{.jobs = 4, .verbose = false});
+  auto results = runner.Run(configs);
+
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(cache.simulations_run(), 2u);
+  EXPECT_EQ(MetricsDigest(results[0]), MetricsDigest(results[2]));
+  EXPECT_EQ(MetricsDigest(results[0]), MetricsDigest(results[3]));
+  EXPECT_NE(MetricsDigest(results[0]), MetricsDigest(results[1]));
+}
+
+TEST(ParallelRunner, ServesCachedPointsWithoutSimulating) {
+  auto cfg = TinyConfig(config::CcAlgorithm::kNoDc, 3.0);
+  TempDir dir;
+  ResultCache cache(dir.str());
+  ParallelRunner runner(cache, RunnerOptions{.jobs = 2, .verbose = false});
+  auto first = runner.Run({cfg});
+  EXPECT_EQ(cache.simulations_run(), 1u);
+  auto second = runner.Run({cfg});
+  EXPECT_EQ(cache.simulations_run(), 1u);  // second batch was all cache hits
+  EXPECT_EQ(MetricsDigest(first[0]), MetricsDigest(second[0]));
+}
+
+TEST(ResultCache, ContendedGetOrRunRunsOneSimulation) {
+  auto cfg = TinyConfig(config::CcAlgorithm::kTwoPhaseLocking, 2.0);
+  TempDir dir;
+  ResultCache cache(dir.str());
+
+  constexpr int kThreads = 8;
+  std::vector<engine::RunResult> results(kThreads);
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back(
+          [&, t] { results[static_cast<std::size_t>(t)] = cache.GetOrRun(cfg); });
+    }
+  }
+
+  // Single-flight: one simulation, everyone observes its result, and the
+  // cache directory holds exactly one intact entry (no leftover temp files).
+  EXPECT_EQ(cache.simulations_run(), 1u);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(SerializeResult(results[0]),
+              SerializeResult(results[static_cast<std::size_t>(t)]));
+  }
+  int temp_files = 0;
+  EXPECT_EQ(CacheFilesIn(dir.str(), &temp_files), 1);
+  EXPECT_EQ(temp_files, 0);
+  auto loaded = cache.Load(cfg);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(SerializeResult(*loaded), SerializeResult(results[0]));
+}
+
+TEST(ResultCache, ConcurrentStoresNeverCorruptTheEntry) {
+  // Regression for the shared `path + ".tmp"` temp file: concurrent writers
+  // used to interleave into one temp file and publish garbage. Writers now
+  // use unique temp names, so the published entry always parses.
+  auto cfg = TinyConfig(config::CcAlgorithm::kNoDc, 4.0);
+  engine::RunResult sample;
+  sample.throughput = 12.5;
+  sample.commits = 1234567890123456789ull;
+  sample.events = std::numeric_limits<std::uint64_t>::max();
+  sample.sim_seconds = 20.0;
+
+  TempDir dir;
+  ResultCache cache(dir.str());
+  constexpr int kThreads = 8;
+  constexpr int kStoresPerThread = 25;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < kStoresPerThread; ++i) {
+          EXPECT_TRUE(cache.Store(cfg, sample));
+          auto loaded = cache.Load(cfg);
+          ASSERT_TRUE(loaded.has_value()) << "corrupt entry published";
+          EXPECT_EQ(loaded->events, sample.events);
+          EXPECT_EQ(loaded->commits, sample.commits);
+        }
+      });
+    }
+  }
+  int temp_files = 0;
+  EXPECT_EQ(CacheFilesIn(dir.str(), &temp_files), 1);
+  EXPECT_EQ(temp_files, 0);
+}
+
+TEST(ResultSerialization, RoundTripsMaxRangeUint64Counters) {
+  // Regression for parsing integer counters through double: values above
+  // 2^53 (and 17-digit formatting) silently lost precision.
+  engine::RunResult r;
+  r.events = std::numeric_limits<std::uint64_t>::max();
+  r.commits = (std::uint64_t{1} << 53) + 1;
+  r.aborts = (std::uint64_t{1} << 63) + 3;
+  r.blocked_waits = 9007199254740993ull;  // 2^53 + 1
+  r.transactions_submitted = 18446744073709551557ull;
+  auto parsed = ParseResult(SerializeResult(r));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->events, r.events);
+  EXPECT_EQ(parsed->commits, r.commits);
+  EXPECT_EQ(parsed->aborts, r.aborts);
+  EXPECT_EQ(parsed->blocked_waits, r.blocked_waits);
+  EXPECT_EQ(parsed->transactions_submitted, r.transactions_submitted);
+}
+
+TEST(ResultSerialization, RejectsTruncatedFiles) {
+  // Regression for "any 18 of the fields is a valid file": a prefix of a
+  // result must be a miss, not a silently-defaulted result.
+  engine::RunResult r;
+  r.throughput = 5.0;
+  r.events = 123456;
+  std::string full = SerializeResult(r);
+
+  // Drop the field_count trailer.
+  std::string no_trailer = full.substr(0, full.rfind("field_count"));
+  EXPECT_FALSE(ParseResult(no_trailer).has_value());
+
+  // Keep the first 18 key-value lines (the old acceptance threshold).
+  std::istringstream in(full);
+  std::string line;
+  std::string first18;
+  for (int i = 0; i < 18 && std::getline(in, line); ++i) {
+    first18 += line + "\n";
+  }
+  EXPECT_FALSE(ParseResult(first18).has_value());
+
+  // A trailer whose count disagrees with the body is rejected too.
+  EXPECT_FALSE(ParseResult(first18 + "field_count 30\n").has_value());
+  EXPECT_FALSE(ParseResult(first18 + "field_count 18\n").has_value());
+
+  // Sanity: the intact file still parses.
+  EXPECT_TRUE(ParseResult(full).has_value());
+}
+
+TEST(Sweep, AtMatchesRecomputedX) {
+  // Regression for exact double equality in At(): an x recomputed at the
+  // call site (3 * 0.1 != 0.3 exactly) used to abort with "point not found".
+  std::vector<Point> points;
+  engine::RunResult r;
+  r.throughput = 42.0;
+  double recomputed = 0.0;
+  for (int i = 0; i < 3; ++i) recomputed += 0.1;
+  ASSERT_NE(recomputed, 0.3);  // the classic accumulation error
+  points.push_back(Point{config::CcAlgorithm::kNoDc, recomputed, r});
+  EXPECT_DOUBLE_EQ(At(points, config::CcAlgorithm::kNoDc, 0.3).throughput,
+                   42.0);
+  EXPECT_DOUBLE_EQ(
+      At(points, config::CcAlgorithm::kNoDc, recomputed).throughput, 42.0);
+}
+
+TEST(Fingerprint, KeysOnRtBatchSize) {
+  // Regression: rt_batch_size changes rt_ci_half_width, so two configs
+  // differing only in it must not share a cache entry.
+  auto a = TinyConfig(config::CcAlgorithm::kNoDc, 2.0);
+  auto b = a;
+  b.run.rt_batch_size = a.run.rt_batch_size * 2;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  // The default value stays unmixed, keeping existing cache keys stable.
+  auto c = a;
+  EXPECT_EQ(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST(Runner, ResolveJobsPrecedence) {
+  EXPECT_GE(ResolveJobs(), 1);
+  EXPECT_EQ(ResolveJobs(7), 7);  // explicit request wins
+  SetDefaultJobs(3);
+  EXPECT_EQ(ResolveJobs(), 3);
+  EXPECT_EQ(ResolveJobs(2), 2);
+  SetDefaultJobs(0);  // clear the override for other tests
+  EXPECT_GE(ResolveJobs(), 1);
+}
+
+TEST(Sweep, RunGridParallelPathMatchesItself) {
+  // RunGrid routes through the runner with the ambient job count; whatever
+  // that is, a re-run from a cold cache must reproduce bit-identically.
+  std::vector<config::CcAlgorithm> algs{config::CcAlgorithm::kNoDc,
+                                        config::CcAlgorithm::kWoundWait};
+  std::vector<double> xs{1.0, 4.0};
+  auto make = [](config::CcAlgorithm alg, double x) {
+    return TinyConfig(alg, x);
+  };
+
+  TempDir dir_a;
+  ResultCache cache_a(dir_a.str());
+  auto points_a = RunGrid(cache_a, algs, xs, make, /*verbose=*/false);
+
+  TempDir dir_b;
+  ResultCache cache_b(dir_b.str());
+  auto points_b = RunGrid(cache_b, algs, xs, make, /*verbose=*/false);
+
+  ASSERT_EQ(points_a.size(), 4u);
+  ASSERT_EQ(points_b.size(), 4u);
+  for (std::size_t i = 0; i < points_a.size(); ++i) {
+    EXPECT_EQ(points_a[i].algorithm, points_b[i].algorithm);
+    EXPECT_DOUBLE_EQ(points_a[i].x, points_b[i].x);
+    EXPECT_EQ(MetricsDigest(points_a[i].result),
+              MetricsDigest(points_b[i].result));
+  }
+}
+
+}  // namespace
+}  // namespace ccsim::experiments

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Migrate ccsim result-cache entries from format v4 to v5.
+
+v5 (PR 2) parses integer counters as integers and rejects files without a
+matching `field_count` trailer. The v4 *writer* already emitted exact
+integer text, so v4 entries migrate losslessly:
+
+  - files written before the wait-die / timeout extensions lack the
+    `aborts_die` / `aborts_timeout` counters; the v4 parser defaulted them
+    to 0, which this migration makes explicit (bit-identical to what every
+    reader saw before);
+  - the `field_count 30` trailer is appended;
+  - the file is renamed v4_<fingerprint> -> v5_<fingerprint> (fingerprints
+    are unchanged for all configurations that were cacheable under v4).
+
+Idempotent; files that don't verify are left in place and reported.
+
+Usage: migrate_cache_v4_to_v5.py [CACHE_DIR ...]   (default: ccsim_bench_cache)
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Canonical v5 field order (matches kFields in src/ccsim/experiments/cache.cc).
+FIELDS = [
+    "throughput", "mean_response_time", "rt_ci_half_width",
+    "max_response_time", "rt_p50", "rt_p90", "rt_p99", "commits", "aborts",
+    "abort_ratio", "aborts_local_deadlock", "aborts_global_deadlock",
+    "aborts_wound", "aborts_timestamp", "aborts_certification", "aborts_die",
+    "aborts_timeout", "host_cpu_util", "proc_cpu_util", "disk_util",
+    "mean_blocking_time", "blocked_waits", "messages_per_commit",
+    "transactions_submitted", "live_at_end", "events", "sim_seconds",
+    "wall_seconds", "audited", "serializable",
+]
+# Counters the v4 parser defaulted to 0 when absent (pre-extension entries).
+DEFAULTABLE = {"aborts_die": "0", "aborts_timeout": "0"}
+
+
+def migrate_file(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as f:
+        pairs = {}
+        for line in f:
+            parts = line.split()
+            if len(parts) != 2:
+                return f"unparseable line: {line.rstrip()}"
+            pairs[parts[0]] = parts[1]
+    for key, default in DEFAULTABLE.items():
+        pairs.setdefault(key, default)
+    missing = [k for k in FIELDS if k not in pairs]
+    if missing:
+        return f"missing fields: {', '.join(missing)}"
+    unknown = [k for k in pairs if k not in FIELDS]
+    if unknown:
+        return f"unknown fields: {', '.join(unknown)}"
+
+    dirname, basename = os.path.split(path)
+    target = os.path.join(dirname, "v5" + basename[len("v4"):])
+    if os.path.exists(target):
+        return f"target exists: {target}"
+    tmp = target + f".tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as f:
+        for key in FIELDS:
+            f.write(f"{key} {pairs[key]}\n")
+        f.write(f"field_count {len(FIELDS)}\n")
+    os.replace(tmp, target)
+    os.remove(path)
+    return ""
+
+
+def main(argv: list[str]) -> int:
+    dirs = argv[1:] or ["ccsim_bench_cache"]
+    migrated = skipped = 0
+    for d in dirs:
+        if not os.path.isdir(d):
+            print(f"migrate_cache: no such directory: {d}", file=sys.stderr)
+            return 2
+        for name in sorted(os.listdir(d)):
+            if not (name.startswith("v4_") and name.endswith(".result")):
+                continue
+            err = migrate_file(os.path.join(d, name))
+            if err:
+                print(f"  SKIP {name}: {err}", file=sys.stderr)
+                skipped += 1
+            else:
+                migrated += 1
+    print(f"migrate_cache: {migrated} migrated, {skipped} skipped.")
+    return 1 if skipped else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
