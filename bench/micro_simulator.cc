@@ -46,6 +46,42 @@ void BM_CalendarDeepQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_CalendarDeepQueue)->Arg(1024)->Arg(65536);
 
+// Cancel-heavy schedule/cancel churn at a fixed queue depth: the
+// processor-sharing CPU re-arms its completion event on every arrival, so
+// Cancel is on the whole-machine hot path too.
+void BM_CalendarScheduleCancel(benchmark::State& state) {
+  sim::Simulation sim;
+  double t = 0;
+  for (int i = 0; i < 256; ++i) sim.At(1e12 + i, [] {});  // standing depth
+  for (auto _ : state) {
+    t += 1.0;
+    auto id = sim.At(t + 0.5, [] {});
+    sim.Cancel(id);
+    sim.At(t, [] {});
+    sim.RunUntil(t);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CalendarScheduleCancel);
+
+// Allocation-free wakeup path: Delay schedules a bare coroutine handle
+// (EventKind::kResume), no closure. Items are process wakeups.
+void BM_DelayWakeups(benchmark::State& state) {
+  const int wakeups_per_proc = 1024;
+  std::uint64_t items = 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    auto proc = [](sim::Simulation* s, int n) -> sim::Process {
+      for (int i = 0; i < n; ++i) co_await s->Delay(1.0);
+    };
+    for (int p = 0; p < 4; ++p) proc(&sim, wakeups_per_proc);
+    sim.Run();
+    items += 4 * wakeups_per_proc;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(items));
+}
+BENCHMARK(BM_DelayWakeups);
+
 void BM_CpuProcessorSharing(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));
   for (auto _ : state) {

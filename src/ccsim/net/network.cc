@@ -32,8 +32,7 @@ Network::Network(sim::Simulation* sim, std::vector<resource::Cpu*> node_cpus,
   CCSIM_CHECK(inst_per_msg >= 0.0);
 }
 
-void Network::Send(NodeId from, NodeId to, MsgTag tag,
-                   std::function<void()> deliver) {
+void Network::Send(NodeId from, NodeId to, MsgTag tag, sim::EventFn deliver) {
   CCSIM_CHECK(from >= 0 && from < static_cast<NodeId>(cpus_.size()));
   CCSIM_CHECK(to >= 0 && to < static_cast<NodeId>(cpus_.size()));
   if (from == to) {
@@ -48,7 +47,7 @@ void Network::Send(NodeId from, NodeId to, MsgTag tag,
 }
 
 sim::Process Network::DeliverProcess(
-    NodeId to, std::function<void()> deliver,
+    NodeId to, sim::EventFn deliver,
     std::shared_ptr<sim::Completion<sim::Unit>> send_done) {
   co_await sim::Await(std::move(send_done));
   co_await sim::Await(cpus_[static_cast<std::size_t>(to)]->Execute(

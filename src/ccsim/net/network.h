@@ -3,11 +3,11 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "ccsim/common/types.h"
 #include "ccsim/resource/cpu.h"
+#include "ccsim/sim/event_fn.h"
 #include "ccsim/sim/process.h"
 #include "ccsim/sim/simulation.h"
 
@@ -47,8 +47,9 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  void Send(NodeId from, NodeId to, MsgTag tag,
-            std::function<void()> deliver);
+  /// `deliver` is a move-only EventFn: small delivery closures ride inline
+  /// through the calendar and the delivery coroutine without heap traffic.
+  void Send(NodeId from, NodeId to, MsgTag tag, sim::EventFn deliver);
 
   std::uint64_t messages_sent() const { return total_sent_; }
   std::uint64_t messages_sent(MsgTag tag) const {
@@ -58,7 +59,7 @@ class Network {
 
  private:
   sim::Process DeliverProcess(
-      NodeId to, std::function<void()> deliver,
+      NodeId to, sim::EventFn deliver,
       std::shared_ptr<sim::Completion<sim::Unit>> send_done);
 
   sim::Simulation* sim_;

@@ -83,7 +83,10 @@ class Cpu {
   std::multimap<double, std::shared_ptr<sim::Completion<sim::Unit>>> ps_jobs_;
   double v_now_ = 0.0;
   sim::SimTime last_update_ = 0.0;
-  sim::Simulation::EventId ps_event_ = 0;
+  // The one pending PS-completion event, re-armed on every quantum change
+  // (arrival, message preemption, harvest). Generation-tagged ids make the
+  // cancel of a just-fired event safe.
+  sim::Simulation::EventId ps_event_ = sim::Simulation::kInvalidEventId;
   bool ps_event_pending_ = false;
 
   stats::TimeWeighted busy_;

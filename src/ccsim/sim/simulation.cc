@@ -6,7 +6,7 @@
 
 namespace ccsim::sim {
 
-Simulation::EventId Simulation::At(SimTime time, Handler handler) {
+Simulation::EventId Simulation::At(SimTime time, EventFn handler) {
   CCSIM_CHECK_MSG(time >= now_, "event scheduled in the past");
   return calendar_.Schedule(time, std::move(handler));
 }
@@ -19,7 +19,7 @@ void Simulation::Run() {
     CCSIM_CHECK(fired->time >= now_);
     now_ = fired->time;
     ++events_fired_;
-    fired->handler();
+    Dispatch(*fired);
   }
 }
 
@@ -27,13 +27,12 @@ void Simulation::RunUntil(SimTime end) {
   CCSIM_CHECK_MSG(end >= now_, "RunUntil target in the past");
   stop_requested_ = false;
   while (!stop_requested_) {
-    SimTime next = calendar_.NextTime();
-    if (next > end) break;
+    if (calendar_.NextTime() > end) break;
     auto fired = calendar_.PopNext();
     if (!fired) break;
     now_ = fired->time;
     ++events_fired_;
-    fired->handler();
+    Dispatch(*fired);
   }
   if (now_ < end) now_ = end;
 }

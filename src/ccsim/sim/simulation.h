@@ -3,21 +3,124 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "ccsim/sim/calendar.h"
+#include "ccsim/sim/check.h"
+#include "ccsim/sim/event_fn.h"
 #include "ccsim/sim/process.h"
 #include "ccsim/sim/time.h"
 
 namespace ccsim::sim {
 
+/// The suspended-process registry: an open-addressing set of coroutine
+/// handles keyed by frame address. A plain hash set (instead of std::map)
+/// because every process suspension inserts and every wakeup erases — with
+/// node-based containers that is a malloc/free pair per wakeup, which would
+/// be the last allocation left on the simulation hot path. The table grows
+/// to the high-water mark of concurrently suspended processes and is then
+/// allocation-free. Erasure uses backward-shift deletion (no tombstones).
+class SuspendedSet {
+ public:
+  void Insert(std::coroutine_handle<> h) {
+    CCSIM_CHECK_MSG(h != nullptr, "suspended a null coroutine");
+    if ((count_ + 1) * 4 > cells_.size() * 3) Grow();
+    std::size_t i = Probe(h.address());
+    CCSIM_CHECK_MSG(cells_[i].addr == nullptr,
+                    "process suspended while already suspended");
+    cells_[i] = Cell{h.address(), h};
+    ++count_;
+  }
+
+  /// Removes the handle for `addr`; returns true if it was present.
+  bool Erase(void* addr) {
+    if (count_ == 0) return false;
+    std::size_t i = Probe(addr);
+    if (cells_[i].addr == nullptr) return false;
+    // Backward-shift deletion: close the gap so probe chains stay intact.
+    std::size_t mask = cells_.size() - 1;
+    std::size_t hole = i;
+    for (std::size_t j = (i + 1) & mask; cells_[j].addr != nullptr;
+         j = (j + 1) & mask) {
+      std::size_t home = Hash(cells_[j].addr) & mask;
+      // Shift j into the hole iff the hole lies within [home, j] cyclically.
+      if (((j - home) & mask) >= ((j - hole) & mask)) {
+        cells_[hole] = cells_[j];
+        hole = j;
+      }
+    }
+    cells_[hole] = Cell{};
+    --count_;
+    return true;
+  }
+
+  std::size_t size() const { return count_; }
+
+  /// Moves every handle out (teardown). Iteration order follows the table,
+  /// i.e. frame-address hashes; the relative destruction order of leaked
+  /// frames is unobservable (frames are destroyed after the run, and frame
+  /// locals are plain data — see Process).
+  std::vector<std::coroutine_handle<>> TakeAll() {
+    std::vector<std::coroutine_handle<>> out;
+    out.reserve(count_);
+    for (Cell& c : cells_) {
+      if (c.addr != nullptr) out.push_back(c.h);
+      c = Cell{};
+    }
+    count_ = 0;
+    return out;
+  }
+
+ private:
+  struct Cell {
+    void* addr = nullptr;
+    std::coroutine_handle<> h;
+  };
+
+  static std::size_t Hash(void* p) {
+    // Fibonacci hash of the frame address; low bits of heap pointers are
+    // aligned away, so mix before masking.
+    auto v = reinterpret_cast<std::uintptr_t>(p);
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(v) >> 4) * 0x9e3779b97f4a7c15ull >> 16);
+  }
+
+  /// Index of `addr`'s cell, or of the empty cell where it would go.
+  std::size_t Probe(void* addr) const {
+    std::size_t mask = cells_.size() - 1;
+    std::size_t i = Hash(addr) & mask;
+    while (cells_[i].addr != nullptr && cells_[i].addr != addr) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Grow() {
+    std::vector<Cell> old = std::move(cells_);
+    cells_.assign(old.empty() ? 16 : old.size() * 2, Cell{});
+    for (const Cell& c : old) {
+      if (c.addr == nullptr) continue;
+      std::size_t i = Probe(c.addr);
+      cells_[i] = c;
+    }
+  }
+
+  std::vector<Cell> cells_ = std::vector<Cell>(16);
+  std::size_t count_ = 0;
+};
+
 /// The simulation executive: owns the clock and the event calendar and runs
 /// the event loop. Single-threaded and deterministic.
+///
+/// Process wakeups (Delay, ResumeLater, and through them every Completion)
+/// are scheduled as bare coroutine handles in the calendar's resume slots —
+/// no closure is allocated anywhere on the wakeup path.
 class Simulation {
  public:
   using EventId = Calendar::EventId;
-  using Handler = Calendar::Handler;
+  using Handler = EventFn;
+  static constexpr EventId kInvalidEventId = Calendar::kInvalidEventId;
 
   Simulation() = default;
   Simulation(const Simulation&) = delete;
@@ -27,11 +130,14 @@ class Simulation {
   /// Current simulated time in seconds.
   SimTime Now() const { return now_; }
 
-  /// Schedules `handler` at absolute simulated time `time` (>= Now()).
-  EventId At(SimTime time, Handler handler);
+  /// Schedules `handler` at absolute simulated time `time`. Scheduling into
+  /// the past (time < Now()) is a fatal error, as is a NaN time.
+  EventId At(SimTime time, EventFn handler);
 
-  /// Schedules `handler` after a relative delay `dt` (>= 0).
-  EventId After(SimTime dt, Handler handler) {
+  /// Schedules `handler` after a relative delay `dt` (>= 0; negative or NaN
+  /// delays are a fatal error).
+  EventId After(SimTime dt, EventFn handler) {
+    CCSIM_CHECK_MSG(dt >= 0.0, "After with negative or NaN delay");
     return At(now_ + dt, std::move(handler));
   }
 
@@ -65,7 +171,7 @@ class Simulation {
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) {
       sim_->NoteSuspended(h);
-      sim_->After(dt_, [sim = sim_, h] { sim->ResumeSuspended(h); });
+      sim_->ScheduleResume(sim_->now_ + dt_, h);
     }
     void await_resume() const noexcept {}
 
@@ -75,13 +181,16 @@ class Simulation {
   };
 
   /// `co_await sim.Delay(t)` inside a Process.
-  DelayAwaitable Delay(SimTime dt) { return DelayAwaitable(this, dt); }
+  DelayAwaitable Delay(SimTime dt) {
+    CCSIM_CHECK_MSG(dt >= 0.0, "Delay with negative or NaN duration");
+    return DelayAwaitable(this, dt);
+  }
 
   /// Resumes a suspended coroutine through the calendar at the current time.
-  /// This is the only sanctioned way for facilities to wake a process.
-  void ResumeLater(std::coroutine_handle<> h) {
-    After(0.0, [this, h] { ResumeSuspended(h); });
-  }
+  /// This is the only sanctioned way for facilities to wake a process. The
+  /// handle must already be in the suspended-process registry (Completion's
+  /// SetWaiter and DelayAwaitable both register before scheduling).
+  void ResumeLater(std::coroutine_handle<> h) { ScheduleResume(now_, h); }
 
   // --- Suspended-process registry --------------------------------------
   //
@@ -92,13 +201,11 @@ class Simulation {
   // that ends mid-flight (RunUntil) leaks nothing.
 
   /// Records a coroutine as suspended, pending a calendar resume.
-  void NoteSuspended(std::coroutine_handle<> h) {
-    suspended_.emplace(h.address(), h);
-  }
+  void NoteSuspended(std::coroutine_handle<> h) { suspended_.Insert(h); }
 
   /// Resumes a registered coroutine (drops it from the registry first).
   void ResumeSuspended(std::coroutine_handle<> h) {
-    suspended_.erase(h.address());
+    suspended_.Erase(h.address());
     h.resume();
   }
 
@@ -107,23 +214,34 @@ class Simulation {
   /// facilities from their destructors (they are plain data in this
   /// codebase).
   void DestroySuspendedProcesses() {
-    auto frames = std::move(suspended_);
-    suspended_.clear();
-    for (const auto& [addr, h] : frames) h.destroy();
+    for (auto h : suspended_.TakeAll()) h.destroy();
   }
 
   /// Number of process frames currently suspended (tests/audits).
   std::size_t suspended_processes() const { return suspended_.size(); }
 
  private:
+  /// Schedules a registered coroutine wakeup at absolute time `time`.
+  void ScheduleResume(SimTime time, std::coroutine_handle<> h) {
+    CCSIM_CHECK_MSG(time >= now_, "wakeup scheduled in the past");
+    calendar_.ScheduleResume(time, h);
+  }
+
+  /// Fires one popped event: either invoke its handler or resume its
+  /// coroutine.
+  void Dispatch(Calendar::Fired& fired) {
+    if (fired.kind == EventKind::kResume) {
+      ResumeSuspended(fired.resume);
+    } else {
+      fired.fn();
+    }
+  }
+
   Calendar calendar_;
   SimTime now_ = 0.0;
   bool stop_requested_ = false;
   std::uint64_t events_fired_ = 0;
-  // Keyed by frame address. An ordered map only for lint cleanliness; the
-  // teardown destruction order is unobservable (frames are destroyed after
-  // the run, and frame locals are plain data).
-  std::map<void*, std::coroutine_handle<>> suspended_;
+  SuspendedSet suspended_;
 };
 
 }  // namespace ccsim::sim

@@ -2,11 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <coroutine>
+#include <cstdint>
 #include <vector>
 
 namespace ccsim::sim {
 namespace {
+
+// Fires one popped handler event (test helper; the Simulation owns dispatch
+// of resume events).
+void Fire(Calendar::Fired& fired) {
+  ASSERT_EQ(fired.kind, EventKind::kHandler);
+  fired.fn();
+}
 
 TEST(Calendar, StartsEmpty) {
   Calendar cal;
@@ -22,7 +32,7 @@ TEST(Calendar, PopsInTimeOrder) {
   cal.Schedule(3.0, [&] { order.push_back(3); });
   cal.Schedule(1.0, [&] { order.push_back(1); });
   cal.Schedule(2.0, [&] { order.push_back(2); });
-  while (auto fired = cal.PopNext()) fired->handler();
+  while (auto fired = cal.PopNext()) Fire(*fired);
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -32,9 +42,25 @@ TEST(Calendar, TiesFireInInsertionOrder) {
   for (int i = 0; i < 10; ++i) {
     cal.Schedule(5.0, [&order, i] { order.push_back(i); });
   }
-  while (auto fired = cal.PopNext()) fired->handler();
+  while (auto fired = cal.PopNext()) Fire(*fired);
   ASSERT_EQ(order.size(), 10u);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Calendar, TiesFireInInsertionOrderAcrossSlotReuse) {
+  // Slot indices get recycled out of order; the insertion seq (not the slot
+  // or the id) must drive tie-breaking.
+  Calendar cal;
+  std::vector<int> order;
+  auto a = cal.Schedule(1.0, [] {});
+  auto b = cal.Schedule(1.0, [] {});
+  cal.Cancel(b);
+  cal.Cancel(a);  // free list now holds slot(a) on top of slot(b)
+  for (int i = 0; i < 4; ++i) {
+    cal.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (auto fired = cal.PopNext()) Fire(*fired);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
 TEST(Calendar, NextTimeReportsEarliestPending) {
@@ -60,6 +86,14 @@ TEST(Calendar, CancelReturnsFalseForUnknownOrFiredEvent) {
   ASSERT_TRUE(fired.has_value());
   EXPECT_FALSE(cal.Cancel(id));
   EXPECT_FALSE(cal.Cancel(9999));
+  EXPECT_FALSE(cal.Cancel(Calendar::kInvalidEventId));
+}
+
+TEST(Calendar, CancelTwiceReturnsFalse) {
+  Calendar cal;
+  auto id = cal.Schedule(1.0, [] {});
+  EXPECT_TRUE(cal.Cancel(id));
+  EXPECT_FALSE(cal.Cancel(id));
 }
 
 TEST(Calendar, CancelDoesNotDisturbOtherEvents) {
@@ -69,7 +103,7 @@ TEST(Calendar, CancelDoesNotDisturbOtherEvents) {
   auto id = cal.Schedule(2.0, [&] { order.push_back(2); });
   cal.Schedule(3.0, [&] { order.push_back(3); });
   cal.Cancel(id);
-  while (auto f = cal.PopNext()) f->handler();
+  while (auto f = cal.PopNext()) Fire(*f);
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
@@ -90,9 +124,313 @@ TEST(Calendar, NextTimeSkipsCancelledHead) {
   EXPECT_DOUBLE_EQ(cal.NextTime(), 5.0);
 }
 
+TEST(Calendar, RecycledSlotIdsDoNotAlias) {
+  // Fire A; its slot is recycled for B. A's id must stay dead: cancelling it
+  // returns false and must not kill B.
+  Calendar cal;
+  auto a = cal.Schedule(1.0, [] {});
+  ASSERT_TRUE(cal.PopNext().has_value());
+  bool b_fired = false;
+  auto b = cal.Schedule(2.0, [&] { b_fired = true; });
+  EXPECT_NE(a, b);  // same slot, different generation
+  EXPECT_EQ(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b));
+  EXPECT_FALSE(cal.Cancel(a));
+  EXPECT_EQ(cal.size(), 1u);
+  auto fired = cal.PopNext();
+  ASSERT_TRUE(fired.has_value());
+  Fire(*fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(Calendar, CancelledSlotIdsDoNotAlias) {
+  // Same as above but the slot is recycled through a cancel, not a fire.
+  Calendar cal;
+  auto a = cal.Schedule(1.0, [] {});
+  ASSERT_TRUE(cal.Cancel(a));
+  auto b = cal.Schedule(2.0, [] {});
+  EXPECT_EQ(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b));
+  EXPECT_FALSE(cal.Cancel(a));
+  EXPECT_TRUE(cal.Cancel(b));
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(Calendar, NextTimeStableUnderInterleavedCancels) {
+  // NextTime() is a pure read; interleaved cancels (including of the head)
+  // must keep it equal to the earliest live event at every step.
+  Calendar cal;
+  std::vector<Calendar::EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(cal.Schedule(static_cast<double>(i), [] {}));
+  }
+  // Cancel the head repeatedly: each cancel must immediately expose the next
+  // live event (head pruning is eager, NextTime never sees a dead head).
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(cal.Cancel(ids[static_cast<size_t>(i)]));
+    EXPECT_DOUBLE_EQ(cal.NextTime(), static_cast<double>(i + 1));
+    const Calendar& ccal = cal;  // NextTime on a const calendar
+    EXPECT_DOUBLE_EQ(ccal.NextTime(), static_cast<double>(i + 1));
+  }
+  // Cancel interior events from the back; the head must be unaffected.
+  for (int i = 63; i > 32; --i) {
+    EXPECT_TRUE(cal.Cancel(ids[static_cast<size_t>(i)]));
+    EXPECT_DOUBLE_EQ(cal.NextTime(), 32.0);
+  }
+  EXPECT_TRUE(cal.Cancel(ids[32]));
+  EXPECT_EQ(cal.NextTime(), kNever);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(Calendar, SlotCapacityTracksHighWaterMarkOnly) {
+  Calendar cal;
+  std::vector<Calendar::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(cal.Schedule(1.0 + i, [] {}));
+  }
+  std::size_t cap = cal.slot_capacity();
+  EXPECT_EQ(cap, 100u);
+  // Steady-state churn at depth <= 100 must not grow the slab.
+  for (int round = 0; round < 50; ++round) {
+    auto fired = cal.PopNext();
+    ASSERT_TRUE(fired.has_value());
+    cal.Schedule(fired->time + 1000.0, [] {});
+  }
+  EXPECT_EQ(cal.slot_capacity(), cap);
+}
+
+// Deterministic 64-bit LCG for the stress test (no std random; determinism
+// rules ban wall-clock/rand seeding in tests).
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 16;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Cancel-heavy randomized stress against a naive reference model: a flat
+// vector of pending (time, seq) records popped via linear min-scan. Any
+// divergence in pop order, cancel results, or sizes fails.
+TEST(Calendar, StressMatchesNaiveReferenceModel) {
+  struct RefEvent {
+    double time;
+    std::uint64_t seq;
+    int payload;
+  };
+  Calendar cal;
+  std::vector<std::pair<Calendar::EventId, std::uint64_t>> live_ids;
+  std::vector<RefEvent> ref;
+  std::vector<Calendar::EventId> dead_ids;
+  Lcg rng(20260806);
+  std::uint64_t next_seq = 0;
+  double now = 0.0;
+  std::vector<int> got, want;
+  for (int step = 0; step < 20000; ++step) {
+    std::uint64_t r = rng.Next() % 100;
+    if (r < 45 || ref.empty()) {
+      // Schedule at now + U[0,16), quantized so exact ties happen often.
+      double t = now + static_cast<double>(rng.Next() % 64) / 4.0;
+      int payload = static_cast<int>(next_seq);
+      auto id = cal.Schedule(t, [&got, payload] { got.push_back(payload); });
+      live_ids.emplace_back(id, next_seq);
+      ref.push_back(RefEvent{t, next_seq, payload});
+      ++next_seq;
+    } else if (r < 75) {
+      // Cancel a random live event; both models must agree it was live.
+      std::size_t k = rng.Next() % live_ids.size();
+      auto [id, seq] = live_ids[k];
+      EXPECT_TRUE(cal.Cancel(id));
+      auto it = std::find_if(ref.begin(), ref.end(),
+                             [s = seq](const RefEvent& e) { return e.seq == s; });
+      ASSERT_NE(it, ref.end());
+      ref.erase(it);
+      live_ids.erase(live_ids.begin() + static_cast<std::ptrdiff_t>(k));
+      dead_ids.push_back(id);
+    } else if (r < 85 && !dead_ids.empty()) {
+      // Cancel of a dead id must always be rejected.
+      EXPECT_FALSE(cal.Cancel(dead_ids[rng.Next() % dead_ids.size()]));
+    } else {
+      // Pop: earliest (time, seq) in the reference.
+      auto it = std::min_element(ref.begin(), ref.end(),
+                                 [](const RefEvent& a, const RefEvent& b) {
+                                   if (a.time != b.time) return a.time < b.time;
+                                   return a.seq < b.seq;
+                                 });
+      auto fired = cal.PopNext();
+      ASSERT_TRUE(fired.has_value());
+      ASSERT_EQ(fired->kind, EventKind::kHandler);
+      fired->fn();
+      want.push_back(it->payload);
+      EXPECT_DOUBLE_EQ(fired->time, it->time);
+      now = it->time;
+      auto lit = std::find_if(
+          live_ids.begin(), live_ids.end(),
+          [s = it->seq](const auto& p) { return p.second == s; });
+      ASSERT_NE(lit, live_ids.end());
+      dead_ids.push_back(lit->first);
+      live_ids.erase(lit);
+      ref.erase(it);
+    }
+    ASSERT_EQ(cal.size(), ref.size());
+    double ref_next = kNever;
+    for (const RefEvent& e : ref) ref_next = std::min(ref_next, e.time);
+    ASSERT_EQ(cal.NextTime(), ref_next);
+  }
+  // Drain the rest and compare the full firing orders.
+  while (auto fired = cal.PopNext()) {
+    ASSERT_EQ(fired->kind, EventKind::kHandler);
+    fired->fn();
+  }
+  std::sort(ref.begin(), ref.end(), [](const RefEvent& a, const RefEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  for (const RefEvent& e : ref) want.push_back(e.payload);
+  EXPECT_EQ(got, want);
+}
+
+// Same reference-model stress, but with event times drawn from wildly
+// different scales (sub-second ties, thousands, and ~1e9 far-future
+// clusters). This drives the ladder internals the uniform stress cannot
+// reach: overflow spills, rebases of far clusters, under-rungs opened for
+// near events scheduled after a rebase, and bucket splits of time clumps.
+TEST(Calendar, StressWideTimeSpansMatchReference) {
+  struct RefEvent {
+    double time;
+    std::uint64_t seq;
+    int payload;
+  };
+  Calendar cal;
+  std::vector<std::pair<Calendar::EventId, std::uint64_t>> live_ids;
+  std::vector<RefEvent> ref;
+  Lcg rng(891236);
+  std::uint64_t next_seq = 0;
+  double now = 0.0;
+  std::vector<int> got, want;
+  for (int step = 0; step < 12000; ++step) {
+    std::uint64_t r = rng.Next() % 100;
+    if (r < 50 || ref.empty()) {
+      double off;
+      std::uint64_t scale = rng.Next() % 10;
+      if (scale < 5) {
+        off = static_cast<double>(rng.Next() % 16) / 8.0;  // ties + clumps
+      } else if (scale < 8) {
+        off = static_cast<double>(rng.Next() % 4096);
+      } else {
+        off = 1e9 + static_cast<double>(rng.Next() % 64);  // far cluster
+      }
+      double t = now + off;
+      int payload = static_cast<int>(next_seq);
+      auto id = cal.Schedule(t, [&got, payload] { got.push_back(payload); });
+      live_ids.emplace_back(id, next_seq);
+      ref.push_back(RefEvent{t, next_seq, payload});
+      ++next_seq;
+    } else if (r < 70) {
+      std::size_t k = rng.Next() % live_ids.size();
+      auto [id, seq] = live_ids[k];
+      EXPECT_TRUE(cal.Cancel(id));
+      auto it =
+          std::find_if(ref.begin(), ref.end(),
+                       [s = seq](const RefEvent& e) { return e.seq == s; });
+      ASSERT_NE(it, ref.end());
+      ref.erase(it);
+      live_ids.erase(live_ids.begin() + static_cast<std::ptrdiff_t>(k));
+    } else {
+      auto it = std::min_element(ref.begin(), ref.end(),
+                                 [](const RefEvent& a, const RefEvent& b) {
+                                   if (a.time != b.time) return a.time < b.time;
+                                   return a.seq < b.seq;
+                                 });
+      auto fired = cal.PopNext();
+      ASSERT_TRUE(fired.has_value());
+      fired->fn();
+      want.push_back(it->payload);
+      EXPECT_DOUBLE_EQ(fired->time, it->time);
+      now = it->time;
+      auto lit = std::find_if(
+          live_ids.begin(), live_ids.end(),
+          [s = it->seq](const auto& p) { return p.second == s; });
+      ASSERT_NE(lit, live_ids.end());
+      live_ids.erase(lit);
+      ref.erase(it);
+    }
+    ASSERT_EQ(cal.size(), ref.size());
+    double ref_next = kNever;
+    for (const RefEvent& e : ref) ref_next = std::min(ref_next, e.time);
+    ASSERT_EQ(cal.NextTime(), ref_next);
+  }
+  while (auto fired = cal.PopNext()) fired->fn();
+  std::sort(ref.begin(), ref.end(), [](const RefEvent& a, const RefEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  });
+  for (const RefEvent& e : ref) want.push_back(e.payload);
+  EXPECT_EQ(got, want);
+}
+
+// --- Resume (wakeup) events -------------------------------------------
+
+struct TinyTask {
+  struct promise_type {
+    TinyTask get_return_object() {
+      return TinyTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+  std::coroutine_handle<promise_type> handle;
+};
+
+TinyTask MarkWhenResumed(bool* resumed) {
+  *resumed = true;
+  co_return;
+}
+
+TEST(Calendar, ResumeEventsCarryTheHandle) {
+  Calendar cal;
+  bool resumed = false;
+  TinyTask task = MarkWhenResumed(&resumed);
+  cal.Schedule(1.0, [] {});
+  cal.ScheduleResume(0.5, task.handle);
+  auto first = cal.PopNext();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->kind, EventKind::kResume);
+  EXPECT_FALSE(static_cast<bool>(first->fn));
+  ASSERT_NE(first->resume, nullptr);
+  first->resume.resume();
+  EXPECT_TRUE(resumed);
+  auto second = cal.PopNext();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->kind, EventKind::kHandler);
+  task.handle.destroy();
+}
+
 TEST(CalendarDeathTest, RejectsNanTime) {
   Calendar cal;
   EXPECT_DEATH(cal.Schedule(std::nan(""), [] {}), "NaN");
+}
+
+TEST(CalendarDeathTest, RejectsInfiniteTime) {
+  Calendar cal;
+  EXPECT_DEATH(cal.Schedule(kNever, [] {}), "infinite");
+}
+
+TEST(CalendarDeathTest, RejectsEmptyHandler) {
+  Calendar cal;
+  EXPECT_DEATH(cal.Schedule(1.0, EventFn()), "empty handler");
+}
+
+TEST(CalendarDeathTest, RejectsSchedulingBeforeLastFiredEvent) {
+  Calendar cal;
+  cal.Schedule(5.0, [] {});
+  auto fired = cal.PopNext();
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_DEATH(cal.Schedule(1.0, [] {}), "simulated past");
 }
 
 }  // namespace

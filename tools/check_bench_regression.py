@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Collect and gate the DES-kernel benchmark baseline (BENCH_kernel.json).
+
+Two subcommands:
+
+  collect   Run bench/micro_simulator with --benchmark_format=json plus one
+            cold-cache engine smoke sweep (a figure binary under CCSIM_QUICK=1
+            with a throwaway CCSIM_CACHE_DIR, so the result cache cannot hide
+            engine slowdowns), and write the combined items/sec snapshot.
+
+  compare   Compare a fresh snapshot against the committed baseline and fail
+            (exit 1) if any benchmark's items/sec dropped by more than
+            --threshold (default 30%).
+
+The committed baseline lives at bench_results/BENCH_kernel.json. CI runs
+`collect` into a scratch file and `compare`s it against the baseline; refresh
+instructions are in EXPERIMENTS.md.
+
+Items/sec is the gated metric because it is what the benchmarks advertise
+(SetItemsProcessed); for benchmarks that do not set it, the reciprocal of
+real time per iteration is used so every row has a comparable rate.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+SCHEMA_VERSION = 1
+DEFAULT_BASELINE = "bench_results/BENCH_kernel.json"
+# One real engine sweep, run cold: fig02 is the paper's headline throughput
+# figure and touches the whole stack (calendar, CPU/disk, locking, network).
+SMOKE_FIGURE = "fig02_throughput"
+
+_TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def rate_of(bench):
+    """items/sec for one google-benchmark JSON entry."""
+    if "items_per_second" in bench:
+        return float(bench["items_per_second"])
+    unit = _TIME_UNIT_SECONDS.get(bench.get("time_unit", "ns"), 1e-9)
+    real = float(bench["real_time"]) * unit
+    if real <= 0:
+        return 0.0
+    return 1.0 / real  # iterations/sec
+
+
+def run_micro_benchmarks(build_dir, min_time, bench_filter):
+    binary = os.path.join(build_dir, "bench", "micro_simulator")
+    if not os.path.exists(binary):
+        sys.exit(f"error: {binary} not found (build the Release tree first)")
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    print(f"[collect] {' '.join(cmd)}", file=sys.stderr)
+    out = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    report = json.loads(out.stdout)
+    rates = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rates[bench["name"]] = rate_of(bench)
+    if not rates:
+        sys.exit("error: micro_simulator produced no benchmark entries")
+    return rates
+
+
+def run_cold_smoke_sweep(build_dir):
+    """Times one figure sweep with an empty result cache; rate = sweeps/sec."""
+    binary = os.path.join(build_dir, "bench", SMOKE_FIGURE)
+    if not os.path.exists(binary):
+        sys.exit(f"error: {binary} not found (build the Release tree first)")
+    with tempfile.TemporaryDirectory(prefix="ccsim-bench-") as tmp:
+        env = dict(os.environ)
+        env["CCSIM_QUICK"] = "1"  # smoke-length run windows
+        env["CCSIM_CACHE_DIR"] = os.path.join(tmp, "cache")  # cold cache
+        env["CCSIM_CSV_DIR"] = os.path.join(tmp, "csv")
+        env["CCSIM_JOBS"] = "1"  # deterministic load; CI runners vary in cores
+        os.makedirs(env["CCSIM_CACHE_DIR"])
+        os.makedirs(env["CCSIM_CSV_DIR"])
+        print(f"[collect] cold-cache smoke sweep: {binary}", file=sys.stderr)
+        start = time.monotonic()
+        subprocess.run([binary], check=True, env=env,
+                       stdout=subprocess.DEVNULL)
+        elapsed = time.monotonic() - start
+    if elapsed <= 0:
+        sys.exit("error: smoke sweep finished suspiciously fast")
+    return {f"EngineSmokeSweep/{SMOKE_FIGURE}_cold": 1.0 / elapsed}
+
+
+def cmd_collect(args):
+    rates = run_micro_benchmarks(args.build_dir, args.min_time, args.filter)
+    if not args.skip_smoke:
+        rates.update(run_cold_smoke_sweep(args.build_dir))
+    snapshot = {
+        "schema": SCHEMA_VERSION,
+        "metric": "items_per_second",
+        "benchmarks": {name: round(rate, 3) for name, rate in sorted(rates.items())},
+    }
+    out_dir = os.path.dirname(args.output)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.output, "w") as f:
+        json.dump(snapshot, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"[collect] wrote {len(rates)} benchmarks to {args.output}")
+    return 0
+
+
+def load_snapshot(path):
+    try:
+        with open(path) as f:
+            snap = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot read snapshot {path}: {e}")
+    if snap.get("schema") != SCHEMA_VERSION:
+        sys.exit(f"error: {path} has schema {snap.get('schema')}, "
+                 f"expected {SCHEMA_VERSION}")
+    return snap["benchmarks"]
+
+
+def cmd_compare(args):
+    baseline = load_snapshot(args.baseline)
+    current = load_snapshot(args.current)
+    failures = []
+    width = max((len(n) for n in baseline), default=0)
+    for name, base_rate in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            continue
+        cur_rate = current[name]
+        if base_rate <= 0:
+            continue
+        ratio = cur_rate / base_rate
+        marker = ""
+        if ratio < 1.0 - args.threshold:
+            marker = "  <-- REGRESSION"
+            failures.append(
+                f"{name}: {base_rate:.3g} -> {cur_rate:.3g} items/s "
+                f"({(1.0 - ratio) * 100:.1f}% slower)")
+        print(f"  {name:<{width}}  {base_rate:>12.4g}  {cur_rate:>12.4g}  "
+              f"{ratio:>6.2f}x{marker}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name:<{width}}  {'(new)':>12}  {current[name]:>12.4g}")
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold * 100:.0f}% vs {args.baseline}:")
+        for f in failures:
+            print(f"  - {f}")
+        print("If the slowdown is intentional, refresh the baseline "
+              "(see EXPERIMENTS.md).")
+        return 1
+    print(f"\nOK: no benchmark regressed more than "
+          f"{args.threshold * 100:.0f}% vs {args.baseline}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_collect = sub.add_parser("collect", help="run benchmarks, write snapshot")
+    p_collect.add_argument("--build-dir", default="build-rel",
+                           help="CMake Release build tree (default: build-rel)")
+    p_collect.add_argument("--output", default=DEFAULT_BASELINE,
+                           help=f"snapshot path (default: {DEFAULT_BASELINE})")
+    p_collect.add_argument("--min-time", default="0.4",
+                           help="--benchmark_min_time per benchmark (seconds)")
+    p_collect.add_argument("--filter", default="",
+                           help="--benchmark_filter regex (default: all)")
+    p_collect.add_argument("--skip-smoke", action="store_true",
+                           help="skip the cold-cache engine smoke sweep")
+    p_collect.set_defaults(fn=cmd_collect)
+
+    p_compare = sub.add_parser("compare", help="gate a snapshot vs baseline")
+    p_compare.add_argument("--baseline", default=DEFAULT_BASELINE,
+                           help=f"committed baseline (default: {DEFAULT_BASELINE})")
+    p_compare.add_argument("--current", required=True,
+                           help="snapshot from this run (collect --output)")
+    p_compare.add_argument("--threshold", type=float, default=0.30,
+                           help="max tolerated fractional slowdown (default 0.30)")
+    p_compare.set_defaults(fn=cmd_compare)
+
+    args = parser.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
