@@ -1,0 +1,55 @@
+// Fault extension: throughput and abort breakdown versus node MTTF on the
+// 8-node Experiment 1 machine. Not a paper figure - the paper assumes a
+// reliable machine (Sec 2) - but the natural robustness question for its
+// model: how quickly does each algorithm's throughput degrade as nodes
+// start failing, and what does the failure traffic turn into (node-crash
+// aborts, communication timeouts, forced 2PC terminations)?
+
+#include "bench_common.h"
+
+CCSIM_BENCH_FIGURE(fig_fault_degradation) {
+  using namespace ccsim;
+  using namespace ccsim::bench;
+  experiments::PrintFigureHeader(
+      std::cout, "Fault extension",
+      "throughput & abort breakdown vs node MTTF, 8 nodes, think 8 s",
+      "shorter MTTF -> lower throughput for every algorithm; blocking "
+      "algorithms also pay crash-induced restarts of waiters");
+  PrintRunScaleNote();
+
+  // Per-node exponential MTTF in seconds; MTTR is fixed at 10 s. The last
+  // column is the fault-free paper model for reference.
+  const std::vector<double> mttfs = {30, 60, 120, 240, 480, 960, 0};
+  auto algorithms = RealAlgorithms();
+  algorithms.push_back(config::CcAlgorithm::kNoDc);
+
+  ResultCache cache;
+  auto sweep = experiments::RunGrid(
+      cache, algorithms, mttfs, [](config::CcAlgorithm alg, double mttf) {
+        return experiments::FaultConfig(alg, 8.0, mttf);
+      });
+
+  ReportSeries("fig_fault_throughput", "throughput (commits/s) vs node MTTF (s; 0 = no faults)",
+      "mttf(s)", mttfs, algorithms, [&](config::CcAlgorithm alg, double x) {
+        return At(sweep, alg, x).throughput;
+      });
+  ReportSeries("fig_fault_availability", "machine availability (fraction of proc nodes up)",
+      "mttf(s)", mttfs, algorithms, [&](config::CcAlgorithm alg, double x) {
+        return At(sweep, alg, x).availability;
+      });
+  ReportSeries("fig_fault_crash_aborts", "node-crash aborts per 100 commits",
+      "mttf(s)", mttfs, algorithms, [&](config::CcAlgorithm alg, double x) {
+        const auto& r = At(sweep, alg, x);
+        return r.commits > 0 ? 100.0 * static_cast<double>(r.aborts_node_crash) /
+                                   static_cast<double>(r.commits)
+                             : 0.0;
+      });
+  ReportSeries("fig_fault_timeout_aborts", "comm-timeout aborts per 100 commits",
+      "mttf(s)", mttfs, algorithms, [&](config::CcAlgorithm alg, double x) {
+        const auto& r = At(sweep, alg, x);
+        return r.commits > 0 ? 100.0 * static_cast<double>(r.aborts_comm_timeout) /
+                                   static_cast<double>(r.commits)
+                             : 0.0;
+      });
+  return 0;
+}

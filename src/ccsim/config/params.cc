@@ -83,7 +83,29 @@ std::string SystemConfig::Validate() const {
   if (costs.deadlock_interval_sec <= 0)
     return "deadlock_interval_sec must be > 0";
   if (locking.timeout_sec <= 0) return "locking timeout_sec must be > 0";
+  if (faults.node_mttf_sec < 0) return "node_mttf_sec must be >= 0";
+  if (faults.node_mttf_sec > 0 && faults.node_mttr_sec <= 0)
+    return "node_mttr_sec must be > 0 when node_mttf_sec > 0";
+  if (faults.msg_drop_prob < 0 || faults.msg_drop_prob >= 1)
+    return "msg_drop_prob out of range [0, 1)";
+  if (faults.disk_error_prob < 0 || faults.disk_error_prob >= 1)
+    return "disk_error_prob out of range [0, 1)";
+  if (faults.disk_error_prob > 0 && faults.disk_error_delay_ms <= 0)
+    return "disk_error_delay_ms must be > 0 when disk_error_prob > 0";
+  if (faults.msg_timeout_sec < 0) return "msg_timeout_sec must be >= 0";
+  if (faults.max_msg_retries < 0) return "max_msg_retries must be >= 0";
+  if (faults.max_msg_retries > 0 && faults.retry_backoff_sec <= 0)
+    return "retry_backoff_sec must be > 0 when max_msg_retries > 0";
+  if (faults.max_decision_resends < 0)
+    return "max_decision_resends must be >= 0";
+  if (faults.msg_drop_prob > 0 && faults.msg_timeout_sec == 0 &&
+      faults.node_mttf_sec == 0)
+    // Without node crashes the only way a dropped 2PC reply resolves is a
+    // protocol timeout; forbid the combination that can only wedge. (Tests
+    // that *want* a wedge inject drops via a test hook, not msg_drop_prob.)
+    return "msg_drop_prob > 0 requires msg_timeout_sec > 0";
   if (run.warmup_sec < 0 || run.measure_sec <= 0) return "run window invalid";
+  if (run.watchdog_stall_sec < 0) return "watchdog_stall_sec must be >= 0";
   return "";
 }
 
@@ -109,6 +131,21 @@ std::uint64_t SystemConfig::Fingerprint() const {
     h.Mix(locking.timeout_sec);
   // rt_batch_size changes rt_ci_half_width, so it must key the cache too.
   if (run.rt_batch_size != RunParams{}.rt_batch_size) h.Mix(run.rt_batch_size);
+  // Fault injection: mixed only when active, so every fault-free config
+  // keeps its pre-fault fingerprint (and cached result). The watchdog knobs
+  // are deliberately excluded - they never change metrics, only whether a
+  // broken run dies loudly.
+  if (faults.any()) {
+    h.Mix(faults.node_mttf_sec);
+    h.Mix(faults.node_mttr_sec);
+    h.Mix(faults.msg_drop_prob);
+    h.Mix(faults.disk_error_prob);
+    h.Mix(faults.disk_error_delay_ms);
+    h.Mix(faults.msg_timeout_sec);
+    h.Mix(faults.max_msg_retries);
+    h.Mix(faults.retry_backoff_sec);
+    h.Mix(faults.max_decision_resends);
+  }
   h.Mix(static_cast<int>(workload.classes.size()));
   for (const auto& c : workload.classes) {
     h.Mix(c.fraction);

@@ -132,6 +132,53 @@ struct CostParams {
   double deadlock_interval_sec = 1.0;  // DetectionInterval (2PL Snoop)
 };
 
+/// Deterministic fault injection (extension; the paper's model of Sec 3 is
+/// failure-free). All rates default to zero, which reproduces the paper's
+/// machine exactly: with every rate at zero no fault process is spawned, no
+/// timeout is armed, and no extra RNG stream is consumed, so metric digests
+/// are byte-identical to the failure-free model. Faults are driven by
+/// dedicated named RNG streams (DESIGN.md decision #9), so the same seed and
+/// the same FaultParams replay the same crash/drop/error schedule.
+///
+/// The host node (node 0) never fails: it stands in for the paper's
+/// centralized transaction manager, whose durability is out of scope here.
+struct FaultParams {
+  /// Mean time to failure of each processing node (exponential). 0 = nodes
+  /// never crash.
+  double node_mttf_sec = 0.0;
+  /// Mean time to repair a crashed node (exponential; used when mttf > 0).
+  double node_mttr_sec = 10.0;
+  /// Probability that a remote message transmission is lost (per attempt,
+  /// including retransmissions). 0 = reliable network.
+  double msg_drop_prob = 0.0;
+  /// Probability that a disk access suffers a transient error and is
+  /// retried in place, occupying the disk for an extra delay.
+  double disk_error_prob = 0.0;
+  /// Extra disk busy time per transient error.
+  double disk_error_delay_ms = 50.0;
+
+  // --- protocol hardening knobs (armed only when any() is true) ----------
+  /// Coordinator/cohort 2PC reply timeout: how long a waiting party lets a
+  /// phase sit without progress before it presumes abort (or, past the
+  /// commit point, resends the decision). 0 disables protocol timeouts
+  /// (useful for constructing deliberately wedged runs in tests).
+  double msg_timeout_sec = 30.0;
+  /// Network-level retransmissions per message before it is lost for good.
+  int max_msg_retries = 3;
+  /// First retransmission backoff; doubles per retry.
+  double retry_backoff_sec = 0.05;
+  /// Coordinator resends of a COMMIT/ABORT decision (each after another
+  /// msg_timeout_sec) before it force-terminates the protocol: missing
+  /// acknowledgements are presumed (the cohort re-converges on recovery).
+  int max_decision_resends = 2;
+
+  /// True when any fault rate is nonzero, i.e. the fault machinery (the
+  /// injector process, protocol timeouts, retransmission) is active.
+  bool any() const {
+    return node_mttf_sec > 0.0 || msg_drop_prob > 0.0 || disk_error_prob > 0.0;
+  }
+};
+
 /// Run control: warmup deletion and measurement window.
 struct RunParams {
   double warmup_sec = 300.0;
@@ -144,6 +191,13 @@ struct RunParams {
   bool enable_audit = false;
   /// Batch size for response-time batch-means confidence intervals.
   std::uint64_t rt_batch_size = 200;
+  /// Watchdog: fail the run (with a diagnostic dump) after this many fired
+  /// events. 0 = unlimited. Diagnostic-only: not part of Fingerprint().
+  std::uint64_t watchdog_max_events = 0;
+  /// Watchdog: fail the run if this much virtual time passes without any
+  /// transaction committing (a wedged or livelocked protocol). 0 = off.
+  /// Diagnostic-only: not part of Fingerprint().
+  double watchdog_stall_sec = 0.0;
 };
 
 /// Complete configuration of one simulation run.
@@ -154,6 +208,7 @@ struct SystemConfig {
   WorkloadParams workload;
   CostParams costs;
   LockingParams locking;
+  FaultParams faults;
   RunParams run;
   CcAlgorithm algorithm = CcAlgorithm::kTwoPhaseLocking;
 

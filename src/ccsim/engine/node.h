@@ -17,6 +17,10 @@ namespace ccsim::engine {
 struct Node {
   NodeId id = 0;
   bool is_host = false;
+  /// False while the node is crashed (fault runs only; the host never
+  /// fails). Maintained by System::CrashNode / System::RecoverNode; the
+  /// network and the 2PC layer consult it to treat the node as unreachable.
+  bool up = true;
   std::unique_ptr<resource::ResourceManager> resources;
   std::unique_ptr<cc::CcManager> cc;
 };

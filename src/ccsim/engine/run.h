@@ -42,6 +42,17 @@ struct RunResult {
   std::uint64_t blocked_waits = 0;
   double messages_per_commit = 0.0;
 
+  // Fault metrics (all trivial when FaultParams are zero: availability 1,
+  // goodput == throughput, counters 0).
+  double availability = 1.0;  // time-weighted fraction of proc nodes up
+  double goodput = 0.0;       // commits per second of node-up capacity
+  std::uint64_t node_crashes = 0;
+  std::uint64_t messages_dropped = 0;  // transmissions lost (pre-retry)
+  std::uint64_t messages_lost = 0;     // gave up after retries / node down
+  std::uint64_t aborts_node_crash = 0;
+  std::uint64_t aborts_comm_timeout = 0;
+  std::uint64_t forced_terminations = 0;  // 2PC gave up resending a decision
+
   // Run accounting.
   std::uint64_t transactions_submitted = 0;
   std::uint64_t live_at_end = 0;

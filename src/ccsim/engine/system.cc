@@ -57,7 +57,9 @@ System::System(const config::SystemConfig& config)
   services.node_rng = [this](NodeId id) {
     return node_rngs_[static_cast<std::size_t>(id)].get();
   };
+  services.node_up = [this](NodeId id) { return NodeUp(id); };
   services.on_commit = [this](txn::Transaction& t) {
+    sim_.NoteProgress();  // feeds the watchdog's stall clock
     double rt = sim_.Now() - t.origin_time();
     rt_alltime_.Record(rt);
     rt_measured_.Record(rt);
@@ -92,6 +94,60 @@ System::System(const config::SystemConfig& config)
       &sim_, &config_, &catalog_, [this](workload::TransactionSpec spec) {
         return coordinator_->Submit(std::move(spec));
       });
+
+  if (config_.faults.any()) {
+    // The fault layer exists only when some rate is nonzero; otherwise no
+    // injector, no network policy, no timers - the event stream (and thus
+    // every determinism digest) is identical to the failure-free machine.
+    fault_injector_ = std::make_unique<fault::FaultInjector>(
+        &sim_, config_.faults, config_.run.seed, config_.machine.num_proc_nodes,
+        fault::FaultInjector::Hooks{
+            [this](NodeId id) { CrashNode(id); },
+            [this](NodeId id) { RecoverNode(id); }});
+    net::Network::FaultPolicy policy;
+    if (config_.faults.msg_drop_prob > 0.0) {
+      policy.should_drop = [this](NodeId from, NodeId to, net::MsgTag tag) {
+        return fault_injector_->ShouldDropMessage(from, to, tag);
+      };
+      policy.max_retries = config_.faults.max_msg_retries;
+      policy.retry_backoff_sec = config_.faults.retry_backoff_sec;
+    }
+    if (config_.faults.node_mttf_sec > 0.0) {
+      policy.node_up = [this](NodeId id) { return NodeUp(id); };
+    }
+    network_->SetFaultPolicy(std::move(policy));
+    if (config_.faults.disk_error_prob > 0.0) {
+      for (NodeId id = 1; id <= config_.machine.num_proc_nodes; ++id) {
+        resources(id).SetDiskFaultHook(
+            [this] { return fault_injector_->DiskErrorDelay(); });
+      }
+    }
+  }
+
+  // Diagnostic dump sections for the watchdog / CCSIM_CHECK failure path.
+  sim_.AddDumpSection("engine", [this](std::FILE* out) {
+    std::fprintf(out, "algorithm=%s live_txns=%zu commits=%llu aborts=%llu\n",
+                 config::ToString(config_.algorithm),
+                 coordinator_->live_transactions(),
+                 static_cast<unsigned long long>(coordinator_->commits()),
+                 static_cast<unsigned long long>(coordinator_->aborts()));
+    for (const Node& node : nodes_) {
+      if (!node.is_host && !node.up) {
+        std::fprintf(out, "node %d: DOWN\n", node.id);
+      }
+    }
+  });
+  sim_.AddDumpSection("rng-streams", [this](std::FILE* out) {
+    for (std::size_t i = 0; i < node_rngs_.size(); ++i) {
+      std::fprintf(out, "node-variates %zu: draws=%llu\n", i,
+                   static_cast<unsigned long long>(node_rngs_[i]->draws()));
+    }
+    if (restart_rng_) {
+      std::fprintf(out, "fake-restart: draws=%llu\n",
+                   static_cast<unsigned long long>(restart_rng_->draws()));
+    }
+    if (fault_injector_) fault_injector_->DumpState(out);
+  });
 
   if (config_.algorithm == config::CcAlgorithm::kTwoPhaseLocking ||
       config_.algorithm == config::CcAlgorithm::kTwoPhaseLockingDeferred) {
@@ -144,6 +200,37 @@ void System::Start() {
   started_ = true;
   source_->Start();
   if (snoop_) snoop_->Start();
+  if (fault_injector_) fault_injector_->Start();
+}
+
+void System::CrashNode(NodeId id) {
+  Node& node = nodes_[static_cast<std::size_t>(id)];
+  CCSIM_CHECK_MSG(!node.is_host, "the host node cannot crash");
+  if (!node.up) return;
+  node.up = false;
+  ++nodes_down_;
+  ++node_crashes_measured_;
+  up_fraction_.Set(sim_.Now(),
+                   1.0 - static_cast<double>(nodes_down_) /
+                             config_.machine.num_proc_nodes);
+  // Drain every transaction with a cohort there: in-flight work at the node
+  // is discarded, lock/queue state released, victims abort (or complete via
+  // presumed acks past the commit point) and restart later. The node's
+  // resource queues are intentionally left alone: whatever was in service
+  // finishes charging time, modeling work the crash wasted (decision #9).
+  coordinator_->OnNodeCrash(id);
+}
+
+void System::RecoverNode(NodeId id) {
+  Node& node = nodes_[static_cast<std::size_t>(id)];
+  if (node.up) return;
+  node.up = true;
+  --nodes_down_;
+  up_fraction_.Set(sim_.Now(),
+                   1.0 - static_cast<double>(nodes_down_) /
+                             config_.machine.num_proc_nodes);
+  // The node comes back with no residual transaction state; restarting
+  // transactions simply find it reachable again.
 }
 
 void System::ResetStatsAtWarmup() {
@@ -154,6 +241,11 @@ void System::ResetStatsAtWarmup() {
   aborts_measured_ = 0;
   aborts_by_reason_measured_.fill(0);
   messages_at_reset_ = network_->messages_sent();
+  node_crashes_measured_ = 0;
+  dropped_at_reset_ = network_->messages_dropped();
+  lost_at_reset_ = network_->messages_lost();
+  forced_at_reset_ = coordinator_->forced_terminations();
+  up_fraction_.Reset(sim_.Now());
   for (auto& node : nodes_) {
     node.resources->ResetStats();
     node.cc->ResetStats();
@@ -218,6 +310,16 @@ RunResult System::ExtractResult(double measured_seconds, double wall_seconds) {
           ? static_cast<double>(network_->messages_sent() - messages_at_reset_) /
                 static_cast<double>(commits_measured_)
           : 0.0;
+  r.availability = up_fraction_.Mean(sim_.Now());
+  r.goodput = r.availability > 0.0 ? r.throughput / r.availability : 0.0;
+  r.node_crashes = node_crashes_measured_;
+  r.messages_dropped = network_->messages_dropped() - dropped_at_reset_;
+  r.messages_lost = network_->messages_lost() - lost_at_reset_;
+  r.aborts_node_crash =
+      aborts_by_reason_measured_[static_cast<std::size_t>(AR::kNodeCrash)];
+  r.aborts_comm_timeout =
+      aborts_by_reason_measured_[static_cast<std::size_t>(AR::kCommTimeout)];
+  r.forced_terminations = coordinator_->forced_terminations() - forced_at_reset_;
   r.transactions_submitted = source_->transactions_submitted();
   r.live_at_end = coordinator_->live_transactions();
   r.events = sim_.events_fired();
@@ -242,6 +344,8 @@ RunResult System::Run() {
   if (warmup > 0) {
     sim_.At(warmup, [this] { ResetStatsAtWarmup(); });
   }
+  sim_.ConfigureWatchdog(
+      {config_.run.watchdog_max_events, config_.run.watchdog_stall_sec});
   sim_.RunUntil(warmup + measure);
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -13,12 +13,14 @@
 #include "ccsim/engine/node.h"
 #include "ccsim/engine/run.h"
 #include "ccsim/engine/serializability.h"
+#include "ccsim/fault/fault_injector.h"
 #include "ccsim/net/network.h"
 #include "ccsim/sim/random.h"
 #include "ccsim/sim/simulation.h"
 #include "ccsim/stats/batch_means.h"
 #include "ccsim/stats/histogram.h"
 #include "ccsim/stats/tally.h"
+#include "ccsim/stats/time_weighted.h"
 #include "ccsim/txn/coordinator.h"
 #include "ccsim/txn/cohort.h"
 #include "ccsim/workload/source.h"
@@ -71,6 +73,23 @@ class System : public cc::CcContext {
   /// Current restart delay (one average observed response time).
   double RestartDelay() const;
 
+  // --- fault layer --------------------------------------------------------
+  /// True while `id` is up (always true without a fault layer; the host is
+  /// always up).
+  bool NodeUp(NodeId id) const {
+    return nodes_[static_cast<std::size_t>(id)].up;
+  }
+  /// Crash effects: mark the node down, track availability, and have the
+  /// coordinator drain every transaction with a cohort there. Called by the
+  /// FaultInjector's schedule; exposed for targeted protocol tests.
+  void CrashNode(NodeId id);
+  /// The node returns empty (its in-flight state died with it); restarting
+  /// transactions will find it organically.
+  void RecoverNode(NodeId id);
+  const fault::FaultInjector* fault_injector() const {
+    return fault_injector_.get();
+  }
+
  private:
   void ResetStatsAtWarmup();
   RunResult ExtractResult(double measured_seconds, double wall_seconds);
@@ -86,6 +105,7 @@ class System : public cc::CcContext {
   std::unique_ptr<txn::CoordinatorService> coordinator_;
   std::unique_ptr<workload::Source> source_;
   std::unique_ptr<cc::Snoop> snoop_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   bool started_ = false;
 
   // Metrics.
@@ -98,6 +118,13 @@ class System : public cc::CcContext {
   std::array<std::uint64_t, txn::kNumAbortReasons>
       aborts_by_reason_measured_{};
   std::uint64_t messages_at_reset_ = 0;
+  // Fault metrics (inert without a fault layer).
+  stats::TimeWeighted up_fraction_{1.0};  // fraction of proc nodes up
+  int nodes_down_ = 0;
+  std::uint64_t node_crashes_measured_ = 0;
+  std::uint64_t dropped_at_reset_ = 0;
+  std::uint64_t lost_at_reset_ = 0;
+  std::uint64_t forced_at_reset_ = 0;
 
   // Shadow version store + commit log for the serializability audit.
   struct ShadowEntry {

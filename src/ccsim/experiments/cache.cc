@@ -18,7 +18,7 @@ namespace ccsim::experiments {
 
 namespace {
 constexpr char kDefaultDir[] = "ccsim_bench_cache";
-constexpr int kFormatVersion = 5;  // bump when RunResult fields change
+constexpr int kFormatVersion = 6;  // bump when RunResult fields change
 
 // One serialized field of RunResult. Serialization and parsing both walk
 // this table, so the two cannot drift apart and the field count in the
@@ -77,6 +77,16 @@ constexpr Field kFields[] = {
     D("wall_seconds", &R::wall_seconds),
     B("audited", &R::audited),
     B("serializable", &R::serializable),
+    // v6: fault metrics. Appended so that v5 entries migrate by appending
+    // defaults (see tools/migrate_cache_v5_to_v6.py).
+    D("availability", &R::availability),
+    D("goodput", &R::goodput),
+    U("node_crashes", &R::node_crashes),
+    U("messages_dropped", &R::messages_dropped),
+    U("messages_lost", &R::messages_lost),
+    U("aborts_node_crash", &R::aborts_node_crash),
+    U("aborts_comm_timeout", &R::aborts_comm_timeout),
+    U("forced_terminations", &R::forced_terminations),
 };
 constexpr std::size_t kNumFields = std::size(kFields);
 static_assert(kNumFields <= 64, "seen-field mask below is a uint64");
@@ -190,11 +200,29 @@ std::optional<engine::RunResult> ParseResult(const std::string& text) {
 
 std::optional<engine::RunResult> ResultCache::Load(
     const config::SystemConfig& config) const {
-  std::ifstream in(PathFor(config));
+  const std::string path = PathFor(config);
+  std::ifstream in(path);
   if (!in) return std::nullopt;
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return ParseResult(buffer.str());
+  auto result = ParseResult(buffer.str());
+  if (!result) {
+    // The entry exists but does not parse (truncated write, disk hiccup,
+    // manual editing). Quarantine it under a distinct suffix so the slot
+    // frees up for a clean re-run while the bytes stay available for
+    // inspection, and say so once instead of silently re-simulating forever.
+    std::error_code ec;
+    std::filesystem::rename(path, path + ".quarantined", ec);
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "ccsim: corrupt cache entry quarantined: %s -> "
+                   "%s.quarantined (rename %s)\n",
+                   path.c_str(), path.c_str(),
+                   ec ? ec.message().c_str() : "ok");
+    }
+  }
+  return result;
 }
 
 bool ResultCache::Store(const config::SystemConfig& config,

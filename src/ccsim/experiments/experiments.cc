@@ -75,4 +75,15 @@ config::SystemConfig Exp3Config(int degree, double inst_per_startup,
   return cfg;
 }
 
+config::SystemConfig FaultConfig(config::CcAlgorithm alg, double think_time,
+                                 double node_mttf_sec) {
+  config::SystemConfig cfg = Exp1Config(8, alg, think_time);
+  if (node_mttf_sec > 0.0) {
+    cfg.faults.node_mttf_sec = node_mttf_sec;
+    cfg.faults.node_mttr_sec = 10.0;
+    cfg.faults.msg_timeout_sec = 5.0;
+  }
+  return cfg;
+}
+
 }  // namespace ccsim::experiments

@@ -39,6 +39,15 @@ config::SystemConfig Exp3Config(int degree, double inst_per_startup,
                                 double inst_per_msg, config::CcAlgorithm alg,
                                 double think_time);
 
+/// Fault experiment (extension): the 8-node Experiment 1 machine with the
+/// fault layer on. Processing nodes crash with the given MTTF (exponential)
+/// and rejoin after ~10 s; 2PC runs with a 5 s silence timeout so blocked
+/// transactions resolve via presumed abort / decision resends rather than
+/// waiting forever. `node_mttf_sec <= 0` turns the fault layer off (the
+/// paper-model baseline).
+config::SystemConfig FaultConfig(config::CcAlgorithm alg, double think_time,
+                                 double node_mttf_sec);
+
 }  // namespace ccsim::experiments
 
 #endif  // CCSIM_EXPERIMENTS_EXPERIMENTS_H_

@@ -1,0 +1,83 @@
+#include "ccsim/fault/fault_injector.h"
+
+#include <cinttypes>
+#include <utility>
+
+#include "ccsim/sim/check.h"
+
+namespace ccsim::fault {
+
+FaultInjector::FaultInjector(sim::Simulation* sim,
+                             const config::FaultParams& params,
+                             std::uint64_t master_seed, int num_proc_nodes,
+                             Hooks hooks)
+    : sim_(sim),
+      params_(params),
+      hooks_(std::move(hooks)),
+      num_proc_nodes_(num_proc_nodes),
+      drop_rng_(master_seed, kDropStreamId),
+      disk_rng_(master_seed, kDiskStreamId) {
+  CCSIM_CHECK(num_proc_nodes >= 1);
+  if (params_.node_mttf_sec > 0.0) {
+    crash_rngs_.reserve(static_cast<std::size_t>(num_proc_nodes));
+    for (NodeId id = 1; id <= num_proc_nodes; ++id) {
+      crash_rngs_.push_back(std::make_unique<sim::RandomStream>(
+          master_seed, kCrashStreamBase + static_cast<std::uint64_t>(id)));
+    }
+  }
+}
+
+void FaultInjector::Start() {
+  CCSIM_CHECK_MSG(!started_, "FaultInjector started twice");
+  started_ = true;
+  if (params_.node_mttf_sec <= 0.0) return;
+  CCSIM_CHECK(hooks_.crash_node && hooks_.recover_node);
+  for (NodeId id = 1; id <= num_proc_nodes_; ++id) CrashCycle(id);
+}
+
+sim::Process FaultInjector::CrashCycle(NodeId node) {
+  sim::RandomStream& rng = *crash_rngs_[static_cast<std::size_t>(node - 1)];
+  // Runs for the life of the simulation; the still-suspended frame is
+  // reclaimed by the Simulation at teardown like any other process.
+  for (;;) {
+    co_await sim_->Delay(rng.Exponential(params_.node_mttf_sec));
+    ++crashes_;
+    hooks_.crash_node(node);
+    co_await sim_->Delay(rng.Exponential(params_.node_mttr_sec));
+    hooks_.recover_node(node);
+  }
+}
+
+bool FaultInjector::ShouldDropMessage(NodeId from, NodeId to, net::MsgTag tag) {
+  (void)from;
+  (void)to;
+  if (tag == net::MsgTag::kSnoopQuery || tag == net::MsgTag::kSnoopReply ||
+      tag == net::MsgTag::kSnoopHandoff) {
+    return false;  // control plane; see the header
+  }
+  if (!drop_rng_.Bernoulli(params_.msg_drop_prob)) return false;
+  ++drops_;
+  return true;
+}
+
+double FaultInjector::DiskErrorDelay() {
+  if (!disk_rng_.Bernoulli(params_.disk_error_prob)) return 0.0;
+  ++disk_errors_;
+  return params_.disk_error_delay_ms / 1000.0;
+}
+
+void FaultInjector::DumpState(std::FILE* out) const {
+  std::fprintf(out,
+               "crashes=%" PRIu64 " drops=%" PRIu64 " disk_errors=%" PRIu64
+               "\n",
+               crashes_, drops_, disk_errors_);
+  std::fprintf(out, "drop stream draws=%" PRIu64 ", disk stream draws=%" PRIu64
+                    "\n",
+               drop_rng_.draws(), disk_rng_.draws());
+  for (std::size_t i = 0; i < crash_rngs_.size(); ++i) {
+    std::fprintf(out, "crash stream node %zu draws=%" PRIu64 "\n", i + 1,
+                 crash_rngs_[i]->draws());
+  }
+}
+
+}  // namespace ccsim::fault

@@ -43,13 +43,39 @@ void Network::Send(NodeId from, NodeId to, MsgTag tag, sim::EventFn deliver) {
   ++counts_[static_cast<std::size_t>(tag)];
   auto send_done = cpus_[static_cast<std::size_t>(from)]->Execute(
       inst_per_msg_, resource::CpuJobClass::kMessage);
-  DeliverProcess(to, std::move(deliver), std::move(send_done));
+  DeliverProcess(from, to, tag, std::move(deliver), std::move(send_done));
 }
 
 sim::Process Network::DeliverProcess(
-    NodeId to, sim::EventFn deliver,
+    NodeId from, NodeId to, MsgTag tag, sim::EventFn deliver,
     std::shared_ptr<sim::Completion<sim::Unit>> send_done) {
   co_await sim::Await(std::move(send_done));
+  if (faults_.should_drop) {
+    int attempt = 0;
+    while (faults_.should_drop(from, to, tag)) {
+      ++dropped_;
+      if (attempt >= faults_.max_retries) {
+        ++lost_;
+        co_return;
+      }
+      // Exponential backoff, then a full retransmission: the sender's CPU is
+      // recharged and the attempt is counted like any other send.
+      double backoff = faults_.retry_backoff_sec;
+      for (int i = 0; i < attempt && backoff < 1e6; ++i) backoff *= 2.0;
+      ++attempt;
+      co_await sim_->Delay(backoff);
+      ++total_sent_;
+      ++counts_[static_cast<std::size_t>(tag)];
+      co_await sim::Await(cpus_[static_cast<std::size_t>(from)]->Execute(
+          inst_per_msg_, resource::CpuJobClass::kMessage));
+    }
+  }
+  if (faults_.node_up && !faults_.node_up(to)) {
+    // Receiver is crashed: the message is gone for good (delivery to a node
+    // that lost its state would be meaningless; recovery re-converges).
+    ++lost_;
+    co_return;
+  }
   co_await sim::Await(cpus_[static_cast<std::size_t>(to)]->Execute(
       inst_per_msg_, resource::CpuJobClass::kMessage));
   deliver();
@@ -57,6 +83,8 @@ sim::Process Network::DeliverProcess(
 
 void Network::ResetStats() {
   total_sent_ = 0;
+  dropped_ = 0;
+  lost_ = 0;
   counts_.fill(0);
 }
 

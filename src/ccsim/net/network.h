@@ -3,6 +3,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ccsim/common/types.h"
@@ -51,21 +52,53 @@ class Network {
   /// through the calendar and the delivery coroutine without heap traffic.
   void Send(NodeId from, NodeId to, MsgTag tag, sim::EventFn deliver);
 
+  /// Fault model for remote transmissions. Absent (the default), the network
+  /// is the paper's reliable switch and the delivery path is byte-identical
+  /// to the pre-fault simulator. Local sends (from == to) are intra-node
+  /// hand-offs and never subject to faults.
+  struct FaultPolicy {
+    /// Called once per transmission attempt (initial send and every
+    /// retransmission); true = this attempt is lost in the switch.
+    std::function<bool(NodeId from, NodeId to, MsgTag tag)> should_drop;
+    /// False = `node` is crashed. A message arriving at a down node vanishes
+    /// (no retransmission helps until recovery; protocol timeouts and the
+    /// crash-draining logic resolve the wait instead). Null = always up.
+    std::function<bool(NodeId node)> node_up;
+    /// Retransmissions per message after the initial attempt; a message
+    /// whose attempts are exhausted is counted lost and never delivered.
+    int max_retries = 0;
+    /// Backoff before the first retransmission; doubles per retry. Each
+    /// retransmission recharges InstPerMsg of sender CPU.
+    double retry_backoff_sec = 0.0;
+  };
+  void SetFaultPolicy(FaultPolicy policy) { faults_ = std::move(policy); }
+  bool faults_active() const {
+    return static_cast<bool>(faults_.should_drop) ||
+           static_cast<bool>(faults_.node_up);
+  }
+
   std::uint64_t messages_sent() const { return total_sent_; }
   std::uint64_t messages_sent(MsgTag tag) const {
     return counts_[static_cast<std::size_t>(tag)];
   }
+  /// Transmission attempts eaten by the drop hook (retries included).
+  std::uint64_t messages_dropped() const { return dropped_; }
+  /// Messages abandoned for good: retries exhausted or receiver down.
+  std::uint64_t messages_lost() const { return lost_; }
   void ResetStats();
 
  private:
   sim::Process DeliverProcess(
-      NodeId to, sim::EventFn deliver,
+      NodeId from, NodeId to, MsgTag tag, sim::EventFn deliver,
       std::shared_ptr<sim::Completion<sim::Unit>> send_done);
 
   sim::Simulation* sim_;
   std::vector<resource::Cpu*> cpus_;
   double inst_per_msg_;
   std::uint64_t total_sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t lost_ = 0;
+  FaultPolicy faults_;
   std::array<std::uint64_t, static_cast<std::size_t>(MsgTag::kCount)> counts_{};
 };
 

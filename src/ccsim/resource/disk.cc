@@ -43,6 +43,7 @@ void Disk::StartNext() {
   busy_metric_.Set(sim_->Now(), 1.0);
   wait_times_.Record(sim_->Now() - req.enqueue_time);
   sim::SimTime service = rng_.Uniform(min_time_, max_time_);
+  if (fault_extra_time_) service += fault_extra_time_();
   sim_->After(service, [this, req = std::move(req)] {
     in_service_ = false;
     ++accesses_completed_;

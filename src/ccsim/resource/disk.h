@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 
 #include "ccsim/sim/completion.h"
@@ -32,6 +33,13 @@ class Disk {
   double Utilization() const { return busy_metric_.Mean(sim_->Now()); }
   void ResetStats();
 
+  /// Fault hook: called once per access at service start; the returned
+  /// extra seconds extend that access's busy time (a transient disk error
+  /// retried in place). Null (default) = the paper's fault-free disk.
+  void SetFaultHook(std::function<double()> hook) {
+    fault_extra_time_ = std::move(hook);
+  }
+
   /// Time requests spent waiting before service (since last stats reset).
   const stats::Tally& wait_times() const { return wait_times_; }
   std::uint64_t accesses_completed() const { return accesses_completed_; }
@@ -52,6 +60,7 @@ class Disk {
   sim::SimTime min_time_;
   sim::SimTime max_time_;
   sim::RandomStream rng_;
+  std::function<double()> fault_extra_time_;
 
   std::deque<Request> read_queue_;
   std::deque<Request> write_queue_;

@@ -34,6 +34,12 @@ class ResourceManager {
   /// Mean utilization across this node's disks.
   double MeanDiskUtilization() const;
 
+  /// Installs a shared transient-error hook on every disk of this node
+  /// (see Disk::SetFaultHook).
+  void SetDiskFaultHook(std::function<double()> hook) {
+    for (auto& d : disks_) d->SetFaultHook(hook);
+  }
+
   void ResetStats();
 
  private:

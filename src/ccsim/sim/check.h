@@ -6,11 +6,28 @@
 
 namespace ccsim::sim::internal {
 
+/// Diagnostic-dump hook: when a Simulation is running it installs itself
+/// here (thread-local; the parallel experiment runner executes independent
+/// simulations on multiple threads), so that a fatal check failure prints
+/// the simulation clock, the event being dispatched, and any registered
+/// dump sections before the process dies. The hook must not throw and must
+/// tolerate being re-entered (a check failing inside the dump itself).
+struct CheckDumpHook {
+  void (*fn)(void* arg) = nullptr;
+  void* arg = nullptr;
+};
+inline thread_local CheckDumpHook g_check_dump;
+inline thread_local bool g_check_dump_active = false;
+
 [[noreturn]] inline void CheckFailed(const char* expr, const char* file,
                                      int line, const char* msg) {
   std::fprintf(stderr, "ccsim check failed: %s at %s:%d%s%s\n", expr, file,
                line, msg[0] ? ": " : "", msg);
-  std::abort();
+  if (g_check_dump.fn != nullptr && !g_check_dump_active) {
+    g_check_dump_active = true;
+    g_check_dump.fn(g_check_dump.arg);
+  }
+  std::abort();  // ccsim-lint: no-abort-ok(the one sanctioned fatal exit)
 }
 
 }  // namespace ccsim::sim::internal

@@ -25,18 +25,21 @@ RandomStream::RandomStream(std::uint64_t master_seed, std::uint64_t stream_id) {
 double RandomStream::Exponential(double mean) {
   CCSIM_CHECK(mean >= 0.0);
   if (mean == 0.0) return 0.0;
+  ++draws_;
   std::exponential_distribution<double> dist(1.0 / mean);
   return dist(engine_);
 }
 
 double RandomStream::Uniform(double lo, double hi) {
   CCSIM_CHECK(lo <= hi);
+  ++draws_;
   std::uniform_real_distribution<double> dist(lo, hi);
   return dist(engine_);
 }
 
 std::int64_t RandomStream::UniformInt(std::int64_t lo, std::int64_t hi) {
   CCSIM_CHECK(lo <= hi);
+  ++draws_;
   std::uniform_int_distribution<std::int64_t> dist(lo, hi);
   return dist(engine_);
 }
@@ -45,6 +48,7 @@ bool RandomStream::Bernoulli(double p) {
   CCSIM_CHECK(p >= 0.0 && p <= 1.0);
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
+  ++draws_;
   std::bernoulli_distribution dist(p);
   return dist(engine_);
 }

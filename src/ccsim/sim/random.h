@@ -31,10 +31,19 @@ class RandomStream {
   bool Bernoulli(double p);
 
   /// Raw 64-bit output (for shuffles and sampling helpers).
-  std::uint64_t Next() { return engine_(); }
+  std::uint64_t Next() {
+    ++draws_;
+    return engine_();
+  }
+
+  /// Number of variates drawn so far. Diagnostic only (watchdog dumps report
+  /// per-stream positions so a divergent replay can be localized to the
+  /// first stream that consumed a different amount of randomness).
+  std::uint64_t draws() const { return draws_; }
 
  private:
   std::mt19937_64 engine_;
+  std::uint64_t draws_ = 0;
 };
 
 }  // namespace ccsim::sim

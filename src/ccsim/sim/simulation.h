@@ -3,6 +3,9 @@
 
 #include <coroutine>
 #include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -160,6 +163,45 @@ class Simulation {
   /// Number of live pending events.
   std::size_t pending_events() const { return calendar_.size(); }
 
+  // --- Watchdog + diagnostics ------------------------------------------
+  //
+  // A wedged protocol (a 2PC participant waiting forever for a reply that
+  // was dropped) or a livelocked one (transactions aborting and restarting
+  // without any commit) used to manifest as an infinite event loop with zero
+  // diagnostics. The watchdog bounds a run by total fired events and by
+  // virtual time since the last domain progress notification; tripping
+  // either limit is a fatal error that prints DumpDiagnostics() first.
+  // While Run()/RunUntil() execute, the same dump is attached to every
+  // CCSIM_CHECK failure on this thread (via the check.h dump hook).
+
+  struct WatchdogLimits {
+    std::uint64_t max_events = 0;  // 0 = unlimited
+    SimTime max_stall = 0.0;       // 0 = no stall limit
+  };
+
+  /// Arms (or, with default limits, disarms) the watchdog and resets the
+  /// stall clock to Now().
+  void ConfigureWatchdog(WatchdogLimits limits) {
+    watchdog_ = limits;
+    last_progress_ = now_;
+  }
+
+  /// Domain progress notification (the engine calls this on every commit);
+  /// resets the watchdog's stall clock.
+  void NoteProgress() { last_progress_ = now_; }
+
+  /// Registers a labelled section appended to DumpDiagnostics() output
+  /// (the engine registers per-stream RNG positions, node states, ...).
+  /// Sections must not call back into the simulation.
+  void AddDumpSection(std::string label, std::function<void(std::FILE*)> fn) {
+    dump_sections_.push_back({std::move(label), std::move(fn)});
+  }
+
+  /// Prints the diagnostic dump: sim clock, event counts, pending-event
+  /// summary, the event being dispatched, the last-fired ring buffer
+  /// (CCSIM_AUDIT builds only), and every registered section.
+  void DumpDiagnostics(std::FILE* out) const;
+
   // --- Coroutine support -----------------------------------------------
 
   /// Awaitable that suspends the calling process for `dt` simulated seconds.
@@ -237,11 +279,38 @@ class Simulation {
     }
   }
 
+  /// Records the about-to-fire event as dump context (and in the audit ring
+  /// buffer), then enforces the watchdog limits. Fatal on a tripped limit.
+  void BeginEvent(const Calendar::Fired& fired);
+
+  [[noreturn]] void WatchdogFail(const char* what);
+
   Calendar calendar_;
   SimTime now_ = 0.0;
   bool stop_requested_ = false;
   std::uint64_t events_fired_ = 0;
   SuspendedSet suspended_;
+
+  WatchdogLimits watchdog_;
+  SimTime last_progress_ = 0.0;
+  struct DumpSection {
+    std::string label;
+    std::function<void(std::FILE*)> fn;
+  };
+  std::vector<DumpSection> dump_sections_;
+  // Context of the event currently being dispatched (for dumps).
+  bool in_event_ = false;
+  SimTime current_event_time_ = 0.0;
+  bool current_event_is_resume_ = false;
+  // Ring buffer of recently fired events; populated in CCSIM_AUDIT builds
+  // only (an extra store per event is too much for the measured hot path).
+  struct FiredRecord {
+    std::uint64_t seq = 0;
+    SimTime time = 0.0;
+    bool is_resume = false;
+  };
+  static constexpr std::size_t kFiredRingSize = 32;
+  std::vector<FiredRecord> fired_ring_;
 };
 
 }  // namespace ccsim::sim

@@ -94,6 +94,27 @@ sim::Process CohortService::RunCohort(TxnPtr txn, int attempt,
                    [this, txn, attempt, cohort_index] {
                      coord_->OnCohortReady(txn, attempt, cohort_index);
                    });
+
+  // Cohort-side presumed abort (fault runs only): READY is out, and until
+  // the cohort votes it is not in-doubt, so if no PREPARE (or ABORT) shows
+  // up within the timeout it may abort unilaterally instead of holding its
+  // locks behind a lost message.
+  const config::FaultParams& f = s_.config->faults;
+  if (f.any() && f.msg_timeout_sec > 0.0) {
+    s_.sim->After(f.msg_timeout_sec, [this, txn, attempt, cohort_index, node] {
+      if (txn->IsStaleAttempt(attempt)) return;
+      CohortRuntime& c = txn->cohort(cohort_index);
+      if (c.voted || c.abort_flag || c.decision_handled) return;  // progressed
+      c.decision_handled = true;
+      c.abort_flag = true;
+      s_.cc_at(node)->AbortCohort(txn, cohort_index);
+      s_.network->Send(node, kHostNode, net::MsgTag::kCohortAborted,
+                       [this, txn, attempt] {
+                         coord_->OnCohortAborted(txn, attempt,
+                                                 AbortReason::kCommTimeout);
+                       });
+    });
+  }
 }
 
 void CohortService::HandlePrepare(const TxnPtr& txn, int attempt,
@@ -112,6 +133,7 @@ sim::Process CohortService::PrepareProcess(TxnPtr txn, int attempt,
       co_await sim::Await(s_.cc_at(node)->Prepare(txn, cohort_index));
   if (txn->IsStaleAttempt(attempt) || txn->cohort(cohort_index).abort_flag)
     co_return;  // aborted while preparing; the vote is moot
+  txn->cohort(cohort_index).voted = true;  // in-doubt from here on
   s_.network->Send(node, kHostNode, net::MsgTag::kVote,
                    [this, txn, attempt, cohort_index, vote] {
                      coord_->OnVote(txn, attempt, cohort_index, vote);
@@ -120,16 +142,22 @@ sim::Process CohortService::PrepareProcess(TxnPtr txn, int attempt,
 
 void CohortService::HandleCommit(const TxnPtr& txn, int attempt,
                                  int cohort_index) {
-  CCSIM_CHECK_MSG(!txn->IsStaleAttempt(attempt),
-                  "COMMIT delivered to a stale attempt");
+  // Fault-free this is never stale (it used to be a CCSIM_CHECK); with
+  // decision resends a duplicate COMMIT is normal - apply once, re-ack
+  // every time (the previous ack may have been the message that was lost).
+  if (txn->IsStaleAttempt(attempt)) return;
   NodeId node = txn->cohort_spec(cohort_index).node;
-  s_.cc_at(node)->CommitCohort(txn, cohort_index);
-  // Kick off the asynchronous write-back of every updated page.
-  for (const workload::PageAccess& access :
-       txn->cohort_spec(cohort_index).accesses) {
-    if (access.is_write) {
-      ++async_writes_;
-      AsyncPageWrite(node);
+  CohortRuntime& c = txn->cohort(cohort_index);
+  if (!c.decision_handled) {
+    c.decision_handled = true;
+    s_.cc_at(node)->CommitCohort(txn, cohort_index);
+    // Kick off the asynchronous write-back of every updated page.
+    for (const workload::PageAccess& access :
+         txn->cohort_spec(cohort_index).accesses) {
+      if (access.is_write) {
+        ++async_writes_;
+        AsyncPageWrite(node);
+      }
     }
   }
   s_.network->Send(node, kHostNode, net::MsgTag::kAck,
@@ -150,10 +178,16 @@ void CohortService::HandleAbort(const TxnPtr& txn, int attempt,
                                 int cohort_index) {
   if (txn->IsStaleAttempt(attempt)) return;
   NodeId node = txn->cohort_spec(cohort_index).node;
-  // Order matters: the flag silences the cohort coroutine before cleanup
-  // wakes any request it has blocked in the CC manager.
-  txn->cohort(cohort_index).abort_flag = true;
-  s_.cc_at(node)->AbortCohort(txn, cohort_index);
+  CohortRuntime& c = txn->cohort(cohort_index);
+  if (!c.decision_handled) {
+    c.decision_handled = true;
+    // Order matters: the flag silences the cohort coroutine before cleanup
+    // wakes any request it has blocked in the CC manager.
+    c.abort_flag = true;
+    s_.cc_at(node)->AbortCohort(txn, cohort_index);
+  }
+  // Always (re-)acknowledge: under faults this may be a resent ABORT whose
+  // first ack was dropped, or a duplicate after a unilateral cohort abort.
   s_.network->Send(node, kHostNode, net::MsgTag::kAck,
                    [this, txn, attempt, cohort_index] {
                      coord_->OnAbortAck(txn, attempt, cohort_index);

@@ -1,6 +1,8 @@
 #include "ccsim/txn/coordinator.h"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "ccsim/sim/check.h"
 
@@ -27,6 +29,7 @@ std::shared_ptr<sim::Completion<sim::Unit>> CoordinatorService::Submit(
 void CoordinatorService::StartAttempt(const TxnPtr& txn, bool first_attempt) {
   txn->BeginAttempt(s_.sim->Now());
   StartAttemptProcess(txn, first_attempt);
+  ArmPhaseTimer(txn);
 }
 
 sim::Process CoordinatorService::StartAttemptProcess(TxnPtr txn,
@@ -68,6 +71,7 @@ void CoordinatorService::OnCohortReady(const TxnPtr& txn, int attempt,
     if (txn->spec().exec_pattern == config::ExecPattern::kSequential) {
       SendLoad(txn, txn->ready_count);  // next cohort in line
     }
+    ArmPhaseTimer(txn);  // progress: restart the silence clock
     return;
   }
   // All cohorts done: enter the commit protocol with a globally unique
@@ -75,6 +79,7 @@ void CoordinatorService::OnCohortReady(const TxnPtr& txn, int attempt,
   txn->set_phase(TxnPhase::kPreparing);
   txn->set_commit_ts(Timestamp{s_.sim->Now(), txn->id()});
   SendPrepares(txn);
+  ArmPhaseTimer(txn);
 }
 
 void CoordinatorService::SendPrepares(const TxnPtr& txn) {
@@ -102,30 +107,59 @@ void CoordinatorService::OnVote(const TxnPtr& txn, int attempt,
   if (txn->votes_received == txn->num_cohorts()) {
     txn->set_phase(TxnPhase::kCommitting);
     SendCommits(txn);
+  } else {
+    ArmPhaseTimer(txn);
   }
 }
 
 void CoordinatorService::SendCommits(const TxnPtr& txn) {
   int attempt = txn->attempt();
   for (int i = 0; i < txn->num_cohorts(); ++i) {
+    if (txn->cohort(i).ack_counted) continue;  // resend pass: already done
     NodeId node = txn->cohort_spec(i).node;
+    if (!NodeUp(node)) {
+      // The cohort's node is down: presume its ack (the decision is durable
+      // at the host; the node re-converges on recovery) so the protocol
+      // terminates instead of waiting for a message that cannot arrive.
+      txn->cohort(i).ack_counted = true;
+      ++txn->commit_acks;
+      continue;
+    }
     s_.network->Send(kHostNode, node, net::MsgTag::kCommit,
                      [this, txn, attempt, i] {
                        cohorts_->HandleCommit(txn, attempt, i);
                      });
   }
+  // Zero-cost messages deliver synchronously, so the acks (and the finalize)
+  // may already have happened inside the loop above.
+  if (txn->phase() != TxnPhase::kCommitting) return;
+  if (txn->commit_acks == txn->num_cohorts()) {
+    FinalizeCommit(txn);
+    return;
+  }
+  ArmPhaseTimer(txn);
 }
 
 void CoordinatorService::OnCommitAck(const TxnPtr& txn, int attempt,
                                      int cohort_index) {
-  (void)cohort_index;
-  CCSIM_CHECK(!txn->IsStaleAttempt(attempt));
-  CCSIM_CHECK(txn->phase() == TxnPhase::kCommitting);
+  // Fault-free, a stale or out-of-phase ack is impossible (this used to be a
+  // CCSIM_CHECK); with resends and forced terminations a duplicate or late
+  // ack is legitimate protocol traffic - ignore it.
+  if (txn->IsStaleAttempt(attempt)) return;
+  if (txn->phase() != TxnPhase::kCommitting) return;
+  CohortRuntime& c = txn->cohort(cohort_index);
+  if (c.ack_counted) return;
+  c.ack_counted = true;
   ++txn->commit_acks;
-  if (txn->commit_acks == txn->num_cohorts()) FinalizeCommit(txn);
+  if (txn->commit_acks == txn->num_cohorts()) {
+    FinalizeCommit(txn);
+  } else {
+    ArmPhaseTimer(txn);
+  }
 }
 
 void CoordinatorService::FinalizeCommit(const TxnPtr& txn) {
+  DisarmPhaseTimer(txn);
   txn->set_phase(TxnPhase::kCommitted);
   ++commits_;
   if (s_.on_commit) s_.on_commit(*txn);
@@ -143,27 +177,57 @@ void CoordinatorService::BeginAbort(const TxnPtr& txn, AbortReason reason) {
   if (s_.on_abort) s_.on_abort(*txn, reason);
   if (txn->loads_sent == 0) {
     // No cohort was ever loaded this attempt; nothing to clean up remotely.
+    DisarmPhaseTimer(txn);
     ScheduleRestart(txn);
     return;
   }
+  SendAborts(txn);
+}
+
+void CoordinatorService::SendAborts(const TxnPtr& txn) {
   int attempt = txn->attempt();
   for (int i = 0; i < txn->num_cohorts(); ++i) {
-    if (!txn->cohort(i).load_sent) continue;
+    CohortRuntime& c = txn->cohort(i);
+    if (!c.load_sent || c.ack_counted) continue;
     NodeId node = txn->cohort_spec(i).node;
+    if (!NodeUp(node)) {
+      // Down node: its cohort state was drained by the crash handling (or
+      // vanishes with the node); presume the ack.
+      c.ack_counted = true;
+      ++txn->abort_acks;
+      continue;
+    }
     s_.network->Send(kHostNode, node, net::MsgTag::kAbort,
                      [this, txn, attempt, i] {
                        cohorts_->HandleAbort(txn, attempt, i);
                      });
   }
+  // As in SendCommits: zero-cost messages may have completed the whole
+  // abort round (and scheduled the restart) synchronously.
+  if (txn->phase() != TxnPhase::kAborting) return;
+  if (txn->abort_acks == txn->loads_sent) {
+    DisarmPhaseTimer(txn);
+    ScheduleRestart(txn);
+    return;
+  }
+  ArmPhaseTimer(txn);
 }
 
 void CoordinatorService::OnAbortAck(const TxnPtr& txn, int attempt,
                                     int cohort_index) {
-  (void)cohort_index;
+  // Duplicates and late acks are legitimate under faults; see OnCommitAck.
   if (txn->IsStaleAttempt(attempt)) return;
-  CCSIM_CHECK(txn->phase() == TxnPhase::kAborting);
+  if (txn->phase() != TxnPhase::kAborting) return;
+  CohortRuntime& c = txn->cohort(cohort_index);
+  if (c.ack_counted) return;
+  c.ack_counted = true;
   ++txn->abort_acks;
-  if (txn->abort_acks == txn->loads_sent) ScheduleRestart(txn);
+  if (txn->abort_acks == txn->loads_sent) {
+    DisarmPhaseTimer(txn);
+    ScheduleRestart(txn);
+  } else {
+    ArmPhaseTimer(txn);
+  }
 }
 
 void CoordinatorService::ScheduleRestart(const TxnPtr& txn) {
@@ -190,6 +254,165 @@ void CoordinatorService::OnAbortRequest(const TxnPtr& txn, int attempt,
 void CoordinatorService::OnCohortAborted(const TxnPtr& txn, int attempt,
                                          AbortReason reason) {
   OnAbortRequest(txn, attempt, reason);
+}
+
+// --- fault hardening ------------------------------------------------------
+
+void CoordinatorService::ArmPhaseTimer(const TxnPtr& txn) {
+  const config::FaultParams& f = s_.config->faults;
+  if (!f.any() || f.msg_timeout_sec <= 0.0) return;
+  DisarmPhaseTimer(txn);
+  int attempt = txn->attempt();
+  txn->phase_timer = s_.sim->After(f.msg_timeout_sec, [this, txn, attempt] {
+    txn->phase_timer = 0;
+    OnPhaseTimeout(txn, attempt);
+  });
+}
+
+void CoordinatorService::DisarmPhaseTimer(const TxnPtr& txn) {
+  if (txn->phase_timer != 0) {
+    s_.sim->Cancel(txn->phase_timer);
+    txn->phase_timer = 0;
+  }
+}
+
+void CoordinatorService::OnPhaseTimeout(const TxnPtr& txn, int attempt) {
+  if (txn->IsStaleAttempt(attempt)) return;
+  const config::FaultParams& f = s_.config->faults;
+  switch (txn->phase()) {
+    case TxnPhase::kRunning:
+    case TxnPhase::kPreparing:
+      // Presumed abort: no reply for a whole timeout window before the
+      // commit point means a participant or its messages are gone.
+      BeginAbort(txn, AbortReason::kCommTimeout);
+      break;
+    case TxnPhase::kCommitting:
+      if (txn->decision_resends < f.max_decision_resends) {
+        ++txn->decision_resends;
+        SendCommits(txn);  // resends to un-acked cohorts only; rearms
+      } else {
+        ForceTerminate(txn);
+      }
+      break;
+    case TxnPhase::kAborting:
+      if (txn->decision_resends < f.max_decision_resends) {
+        ++txn->decision_resends;
+        SendAborts(txn);
+      } else {
+        ForceTerminate(txn);
+      }
+      break;
+    case TxnPhase::kRestartWait:
+    case TxnPhase::kCommitted:
+      break;  // already resolved; stray timer
+  }
+}
+
+void CoordinatorService::ForceTerminate(const TxnPtr& txn) {
+  ++forced_terminations_;
+  DisarmPhaseTimer(txn);
+  bool committing = txn->phase() == TxnPhase::kCommitting;
+  for (int i = 0; i < txn->num_cohorts(); ++i) {
+    CohortRuntime& c = txn->cohort(i);
+    if (c.ack_counted) continue;
+    if (!committing && !c.load_sent) continue;
+    NodeId node = txn->cohort_spec(i).node;
+    if (!c.decision_handled && NodeUp(node)) {
+      // The cohort is reachable but its acks never made it through the
+      // configured resends; apply the decision out of band (modeling the
+      // termination protocol a real system would run) so no lock is held
+      // forever by a decided transaction.
+      c.decision_handled = true;
+      if (committing) {
+        s_.cc_at(node)->CommitCohort(txn, i);
+      } else {
+        c.abort_flag = true;
+        s_.cc_at(node)->AbortCohort(txn, i);
+      }
+    }
+    c.ack_counted = true;
+    if (committing) {
+      ++txn->commit_acks;
+    } else {
+      ++txn->abort_acks;
+    }
+  }
+  if (committing) {
+    FinalizeCommit(txn);
+  } else {
+    ScheduleRestart(txn);
+  }
+}
+
+void CoordinatorService::OnNodeCrash(NodeId node) {
+  // Snapshot and sort the victims: live_ is an unordered map, and the order
+  // in which transactions are drained is observable (CC wakeups, counters).
+  std::vector<TxnPtr> victims;
+  victims.reserve(live_.size());
+  for (const auto& entry : live_) {  // ccsim-lint: unordered-iter-ok(sorted below)
+    const TxnPtr& txn = entry.second;
+    if (txn->phase() == TxnPhase::kRestartWait) continue;  // nothing on nodes
+    for (int i = 0; i < txn->num_cohorts(); ++i) {
+      if (txn->cohort_spec(i).node == node) {
+        victims.push_back(txn);
+        break;
+      }
+    }
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const TxnPtr& a, const TxnPtr& b) { return a->id() < b->id(); });
+
+  for (const TxnPtr& txn : victims) {
+    // Drain the crashed node's share of the transaction: silence the cohort
+    // coroutine and release its CC state (locks, queue entries), waking any
+    // waiters. In-flight work at the node is discarded with it.
+    for (int i = 0; i < txn->num_cohorts(); ++i) {
+      if (txn->cohort_spec(i).node != node) continue;
+      CohortRuntime& c = txn->cohort(i);
+      if (c.load_sent && !c.decision_handled) {
+        c.decision_handled = true;
+        c.abort_flag = true;
+        s_.cc_at(node)->AbortCohort(txn, i);
+      }
+    }
+    switch (txn->phase()) {
+      case TxnPhase::kRunning:
+      case TxnPhase::kPreparing:
+        BeginAbort(txn, AbortReason::kNodeCrash);
+        break;
+      case TxnPhase::kCommitting: {
+        // Past the commit point the decision stands; the crashed cohort's
+        // ack is presumed (recovery re-converges it).
+        for (int i = 0; i < txn->num_cohorts(); ++i) {
+          CohortRuntime& c = txn->cohort(i);
+          if (txn->cohort_spec(i).node != node || c.ack_counted) continue;
+          c.ack_counted = true;
+          ++txn->commit_acks;
+        }
+        if (txn->commit_acks == txn->num_cohorts()) FinalizeCommit(txn);
+        break;
+      }
+      case TxnPhase::kAborting: {
+        for (int i = 0; i < txn->num_cohorts(); ++i) {
+          CohortRuntime& c = txn->cohort(i);
+          if (txn->cohort_spec(i).node != node || !c.load_sent ||
+              c.ack_counted) {
+            continue;
+          }
+          c.ack_counted = true;
+          ++txn->abort_acks;
+        }
+        if (txn->abort_acks == txn->loads_sent) {
+          DisarmPhaseTimer(txn);
+          ScheduleRestart(txn);
+        }
+        break;
+      }
+      case TxnPhase::kRestartWait:
+      case TxnPhase::kCommitted:
+        break;
+    }
+  }
 }
 
 }  // namespace ccsim::txn

@@ -46,22 +46,48 @@ class CoordinatorService {
   /// Abort raised by the transaction's own cohort (self-detected rejection).
   void OnCohortAborted(const TxnPtr& txn, int attempt, AbortReason reason);
 
+  /// Crash notification from the fault layer: every live transaction with a
+  /// cohort at `node` is drained there (locks released, coroutine silenced)
+  /// and then aborted (before the commit point) or force-completed with
+  /// presumed acknowledgements (after it).
+  void OnNodeCrash(NodeId node);
+
   std::size_t live_transactions() const { return live_.size(); }
   std::uint64_t commits() const { return commits_; }
   std::uint64_t aborts() const { return aborts_; }
   std::uint64_t aborts_by_reason(AbortReason r) const {
     return aborts_by_reason_[static_cast<std::size_t>(r)];
   }
+  /// 2PC protocol instances completed by presuming missing acknowledgements
+  /// after exhausting decision resends (fault runs only).
+  std::uint64_t forced_terminations() const { return forced_terminations_; }
 
  private:
   void StartAttempt(const TxnPtr& txn, bool first_attempt);
   sim::Process StartAttemptProcess(TxnPtr txn, bool first_attempt);
   void SendLoad(const TxnPtr& txn, int cohort_index);
   void SendPrepares(const TxnPtr& txn);
+  /// Sends COMMIT to every cohort whose ack is outstanding (first pass and
+  /// decision resends); acks from down nodes are presumed.
   void SendCommits(const TxnPtr& txn);
+  /// Same for ABORT, to the cohorts that were loaded this attempt.
+  void SendAborts(const TxnPtr& txn);
   void BeginAbort(const TxnPtr& txn, AbortReason reason);
   void FinalizeCommit(const TxnPtr& txn);
   void ScheduleRestart(const TxnPtr& txn);
+
+  // --- fault hardening (all no-ops / unreachable when faults are off) ----
+  bool NodeUp(NodeId node) const { return !s_.node_up || s_.node_up(node); }
+  /// (Re)arms the per-transaction phase timeout; no-op unless
+  /// FaultParams::any() and msg_timeout_sec > 0. Every protocol progress
+  /// event rearms it, so it only fires after a genuinely silent period.
+  void ArmPhaseTimer(const TxnPtr& txn);
+  void DisarmPhaseTimer(const TxnPtr& txn);
+  void OnPhaseTimeout(const TxnPtr& txn, int attempt);
+  /// Out-of-band termination after resend exhaustion: applies the decision
+  /// directly at unresponsive-but-up cohorts (modeling a termination
+  /// protocol) and presumes the missing acks.
+  void ForceTerminate(const TxnPtr& txn);
 
   Services s_;
   CohortService* cohorts_;
@@ -69,6 +95,7 @@ class CoordinatorService {
   std::unordered_map<TxnId, TxnPtr> live_;
   std::uint64_t commits_ = 0;
   std::uint64_t aborts_ = 0;
+  std::uint64_t forced_terminations_ = 0;
   std::array<std::uint64_t, kNumAbortReasons> aborts_by_reason_{};
 };
 

@@ -36,6 +36,11 @@ struct Services {
   /// Per-node variate stream (page-processing instruction counts).
   std::function<sim::RandomStream*(NodeId)> node_rng;
 
+  /// Whether a node is currently up. Null = no fault layer, always up.
+  /// The protocol uses it to presume acknowledgements from crashed nodes
+  /// instead of waiting for messages that can never arrive.
+  std::function<bool(NodeId)> node_up;
+
   /// Metrics callbacks (coordinator side, fired at the host).
   std::function<void(Transaction&)> on_commit;
   std::function<void(Transaction&, AbortReason)> on_abort;

@@ -27,6 +27,8 @@ const char* ToString(AbortReason reason) {
     case AbortReason::kCertification: return "certification";
     case AbortReason::kDie: return "die";
     case AbortReason::kTimeout: return "timeout";
+    case AbortReason::kNodeCrash: return "node-crash";
+    case AbortReason::kCommTimeout: return "comm-timeout";
   }
   return "?";
 }
@@ -93,6 +95,8 @@ void Transaction::BeginAttempt(sim::SimTime attempt_time) {
   yes_votes = 0;
   commit_acks = 0;
   abort_acks = 0;
+  phase_timer = 0;
+  decision_resends = 0;
   audit.clear();
 }
 

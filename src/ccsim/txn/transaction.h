@@ -42,18 +42,28 @@ enum class AbortReason {
   kCertification,    // OPT validation failure
   kDie,              // wait-die: younger requester dies
   kTimeout,          // timeout-based blocking expired
+  kNodeCrash,        // a node holding one of the cohorts crashed
+  kCommTimeout,      // a 2PC phase timed out waiting for replies
 };
 
 /// Number of AbortReason values (sizing per-reason counters).
-inline constexpr int kNumAbortReasons = 7;
+inline constexpr int kNumAbortReasons = 9;
 
 const char* ToString(AbortReason reason);
 
-/// Per-attempt, per-cohort runtime flags.
+/// Per-attempt, per-cohort runtime flags. The 2PC dedupe flags exist for the
+/// fault paths: with decision resends and crash draining, COMMIT/ABORT can
+/// reach a cohort more than once and acks can be presumed by the
+/// coordinator; each transition must apply exactly once. Fault-free runs
+/// never set them twice, so the flags are inert there.
 struct CohortRuntime {
   bool load_sent = false;   // coordinator sent LOAD this attempt
   bool ready = false;       // cohort reported READY this attempt
   bool abort_flag = false;  // ABORT processed at the cohort's node
+  bool voted = false;           // cohort's PREPARE vote left the node
+  bool decision_handled = false;  // cohort applied COMMIT/ABORT (dedupe)
+  bool ack_counted = false;     // coordinator counted this cohort's ack
+                                // (received or presumed)
 };
 
 /// Audit records (enabled by RunParams::enable_audit): which version each
@@ -132,6 +142,13 @@ class Transaction {
 
   /// Total aborted attempts over the transaction's lifetime.
   int total_aborts = 0;
+
+  // --- fault hardening (coordinator side, per attempt) -------------------
+  /// Pending 2PC phase-timeout event (sim calendar id; 0 = none armed).
+  /// Armed only when FaultParams::any() and msg_timeout_sec > 0.
+  std::uint64_t phase_timer = 0;
+  /// COMMIT/ABORT decision resends performed so far this attempt.
+  int decision_resends = 0;
 
   /// Completion handed back to the terminal; fulfilled on commit.
   std::shared_ptr<sim::Completion<sim::Unit>> done;

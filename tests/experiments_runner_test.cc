@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -196,6 +197,37 @@ TEST(ResultCache, ConcurrentStoresNeverCorruptTheEntry) {
   int temp_files = 0;
   EXPECT_EQ(CacheFilesIn(dir.str(), &temp_files), 1);
   EXPECT_EQ(temp_files, 0);
+}
+
+TEST(ResultCache, CorruptEntriesAreQuarantinedAndRerun) {
+  auto cfg = TinyConfig(config::CcAlgorithm::kNoDc, 5.0);
+  TempDir dir;
+  ResultCache cache(dir.str());
+  engine::RunResult first = cache.GetOrRun(cfg);
+  EXPECT_EQ(cache.simulations_run(), 1u);
+
+  // Corrupt the single published entry in place.
+  std::filesystem::path entry;
+  for (const auto& e : std::filesystem::directory_iterator(dir.str())) {
+    entry = e.path();
+  }
+  ASSERT_FALSE(entry.empty());
+  {
+    std::ofstream out(entry);
+    out << "garbage that is not a result file\n";
+  }
+
+  // The corrupt entry is a miss; the file moves aside as <name>.quarantined
+  // (preserved for inspection) so the re-run can publish a clean entry.
+  EXPECT_FALSE(cache.Load(cfg).has_value());
+  EXPECT_FALSE(std::filesystem::exists(entry));
+  EXPECT_TRUE(std::filesystem::exists(entry.string() + ".quarantined"));
+
+  engine::RunResult again = cache.GetOrRun(cfg);
+  EXPECT_EQ(cache.simulations_run(), 2u);
+  EXPECT_EQ(MetricsDigest(first), MetricsDigest(again));
+  auto reloaded = cache.Load(cfg);
+  ASSERT_TRUE(reloaded.has_value());
 }
 
 TEST(ResultSerialization, RoundTripsMaxRangeUint64Counters) {

@@ -31,6 +31,11 @@ mechanically enforces them over C++ sources:
                    ccsim/sim/check.h, never bare assert() (which vanishes
                    under NDEBUG and aborts without a simulator-level
                    message). static_assert and gtest ASSERT_* are fine.
+  no-abort         In src/, direct process termination (abort(), exit(),
+                   _exit(), quick_exit(), std:: variants) is banned: fatal
+                   paths go through CCSIM_CHECK so the failure prints the
+                   simulation clock, event context, and diagnostic dump.
+                   The one sanctioned call site is ccsim/sim/check.h.
 
 Any rule can be waived for one line with
     // ccsim-lint: <rule>-ok(<reason>)
@@ -67,6 +72,9 @@ RANDOM_RE = re.compile(
 )
 
 BARE_ASSERT_RE = re.compile(r"(?<![\w])assert\s*\(")
+
+NO_ABORT_RE = re.compile(
+    r"(?<![\w])(?:std\s*::\s*)?(?:abort|exit|_exit|quick_exit)\s*\(")
 
 UNORDERED_DECL_RE = re.compile(r"(?:std\s*::\s*)?unordered_(?:multi)?(?:map|set)\s*<")
 
@@ -250,6 +258,11 @@ def lint_file(path: str, root: str) -> list[Finding]:
             add(i, "bare-assert",
                 "bare assert(); use CCSIM_CHECK / CCSIM_DCHECK from "
                 "ccsim/sim/check.h")
+        if in_src and NO_ABORT_RE.search(cline):
+            add(i, "no-abort",
+                "direct process termination; fatal paths go through "
+                "CCSIM_CHECK (ccsim/sim/check.h) so the failure carries "
+                "simulation context and the diagnostic dump")
 
     # --- unordered container iteration ----------------------------------
     # Members are typically *declared* in the header and *iterated* in the
@@ -410,13 +423,16 @@ def self_test() -> int:
            "clean.cc: expected no findings, got:\n  "
            + "\n  ".join(f.format() for f in clean_findings))
 
-    # A src/-scoped file with a bare assert must fire bare-assert: lint the
-    # fixture under a faked root so it appears to live in src/.
+    # A src/-scoped file with a bare assert or a direct abort()/exit() must
+    # fire bare-assert / no-abort: lint the fixture under a faked root so it
+    # appears to live in src/. Exactly one bare-assert, two no-abort (the
+    # third termination call carries a no-abort-ok waiver).
     src_fixture = os.path.join(fixtures, "src", "ccsim", "sim",
                                "bad_assert.cc")
     assert_findings = run_lint([src_fixture], fixtures)
-    expect(any(f.rule == "bare-assert" for f in assert_findings),
-           "bad_assert.cc: expected a bare-assert finding, got "
+    src_rules = sorted(f.rule for f in assert_findings)
+    expect(src_rules == ["bare-assert", "no-abort", "no-abort"],
+           "bad_assert.cc: expected [bare-assert, no-abort x2], got "
            + str([f.format() for f in assert_findings]))
 
     if failures:

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Migrate ccsim result-cache entries from format v5 to v6.
+
+v6 appends the fault metrics (availability, goodput, node crash / message
+loss counters, fault abort breakdown, forced terminations) to the per-point
+result files. Every v5 entry predates the fault layer, i.e. was produced
+with all fault rates zero, so its v6 form is the v5 fields plus the exact
+values a fault-free run reports: availability 1, goodput == throughput
+(copied verbatim to keep the round-trip bytes identical), all counters 0.
+Fingerprints are unchanged (FaultParams are only mixed in when a rate is
+nonzero), so only the file name's version prefix moves.
+
+Usage: tools/migrate_cache_v5_to_v6.py [cache_dir]
+Idempotent; v5 files are removed only after their v6 twin is in place.
+"""
+
+import os
+import sys
+
+V5_FIELD_COUNT = 30
+V6_FIELD_COUNT = 38
+
+# (key, default) appended in serialization order; None = copy another field.
+NEW_FIELDS = [
+    ("availability", "1"),
+    ("goodput", None),  # equals throughput in a fault-free run
+    ("node_crashes", "0"),
+    ("messages_dropped", "0"),
+    ("messages_lost", "0"),
+    ("aborts_node_crash", "0"),
+    ("aborts_comm_timeout", "0"),
+    ("forced_terminations", "0"),
+]
+
+
+def migrate_file(directory, name):
+    path = os.path.join(directory, name)
+    with open(path, "r", encoding="ascii") as f:
+        lines = f.read().splitlines()
+    if not lines or lines[-1] != f"field_count {V5_FIELD_COUNT}":
+        print(f"skip (not a clean v5 entry): {name}", file=sys.stderr)
+        return False
+    fields = dict(line.split(" ", 1) for line in lines[:-1])
+    if "throughput" not in fields:
+        print(f"skip (no throughput field): {name}", file=sys.stderr)
+        return False
+    body = lines[:-1]
+    for key, default in NEW_FIELDS:
+        value = fields["throughput"] if default is None else default
+        body.append(f"{key} {value}")
+    body.append(f"field_count {V6_FIELD_COUNT}")
+
+    new_name = "v6_" + name[len("v5_"):]
+    new_path = os.path.join(directory, new_name)
+    tmp = new_path + ".tmp.migrate"
+    with open(tmp, "w", encoding="ascii") as f:
+        f.write("\n".join(body) + "\n")
+    os.replace(tmp, new_path)
+    os.remove(path)
+    return True
+
+
+def main():
+    directory = sys.argv[1] if len(sys.argv) > 1 else "ccsim_bench_cache"
+    if not os.path.isdir(directory):
+        print(f"no such directory: {directory}", file=sys.stderr)
+        return 1
+    migrated = 0
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("v5_") and name.endswith(".result"):
+            if migrate_file(directory, name):
+                migrated += 1
+    print(f"migrated {migrated} entries in {directory}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
