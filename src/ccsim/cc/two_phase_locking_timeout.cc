@@ -28,6 +28,7 @@ TwoPhaseLockingTimeoutManager::RequestAccess(const txn::TxnPtr& txn,
   // completion is held by the timer closure, so its lifetime is safe.
   auto completion = result.completion;
   TxnId id = txn->id();
+  // ccsim-analyze: coro-ok(the CC service is owned by System alongside the calendar and is destroyed after it; pending timers never outlive this)
   ctx_->simulation().After(timeout_sec_, [this, id, page, completion] {
     if (completion->done()) return;  // granted or aborted already
     if (lock_table_.CancelRequest(id, page)) ++timeouts_;

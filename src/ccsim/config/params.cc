@@ -131,6 +131,12 @@ std::uint64_t SystemConfig::Fingerprint() const {
     h.Mix(locking.timeout_sec);
   // rt_batch_size changes rt_ci_half_width, so it must key the cache too.
   if (run.rt_batch_size != RunParams{}.rt_batch_size) h.Mix(run.rt_batch_size);
+  // enable_audit never perturbs the event stream, but it changes what the
+  // result *reports* (audited/serializable), so an audit run must not be
+  // served a cached non-audit result or vice versa. Mixed only when set:
+  // every committed cache entry was produced with the audit off and keeps
+  // its fingerprint.
+  if (run.enable_audit) h.Mix(run.enable_audit);
   // Fault injection: mixed only when active, so every fault-free config
   // keeps its pre-fault fingerprint (and cached result). The watchdog knobs
   // are deliberately excluded - they never change metrics, only whether a

@@ -1,14 +1,9 @@
 #include "ccsim/engine/node.h"
 
+#include "ccsim/sim/stream_ids.h"
 #include "ccsim/sim/time.h"
 
 namespace ccsim::engine {
-
-namespace {
-// RandomStream id space for per-node resources (disk pick + disks).
-constexpr std::uint64_t kNodeStreamBase = 1000;
-constexpr std::uint64_t kNodeStreamStride = 64;
-}  // namespace
 
 Node MakeNode(sim::Simulation* sim, const config::SystemConfig& config,
               NodeId id) {
@@ -23,7 +18,9 @@ Node MakeNode(sim::Simulation* sim, const config::SystemConfig& config,
   node.resources = std::make_unique<resource::ResourceManager>(
       sim, mips, disks, sim::FromMillis(config.machine.min_disk_ms),
       sim::FromMillis(config.machine.max_disk_ms), config.run.seed,
-      kNodeStreamBase + static_cast<std::uint64_t>(id) * kNodeStreamStride);
+      sim::stream_ids::kNodeResourceStreamBase +
+          static_cast<std::uint64_t>(id) *
+              sim::stream_ids::kNodeResourceStreamStride);
   return node;
 }
 

@@ -63,6 +63,7 @@ struct RunResult {
   // Audit (only when RunParams::enable_audit).
   bool audited = false;
   bool serializable = true;
+  // ccsim-analyze: cache-exempt(free-form diagnostic text; the cache stores the numeric audit verdict, not the prose)
   std::string audit_note;
 };
 

@@ -7,14 +7,12 @@
 #include "ccsim/cc/two_phase_locking.h"
 #include "ccsim/db/placement.h"
 #include "ccsim/sim/check.h"
+#include "ccsim/sim/stream_ids.h"
 #include "ccsim/txn/services.h"
 
 namespace ccsim::engine {
 
-namespace {
-// RandomStream id space for per-node model variates (instruction counts).
-constexpr std::uint64_t kNodeVariateStreamBase = 5000;
-}  // namespace
+using sim::stream_ids::kNodeVariateStreamBase;
 
 System::System(const config::SystemConfig& config)
     : config_(config),
@@ -82,8 +80,8 @@ System::System(const config::SystemConfig& config)
           return source_->generator().Generate(old_spec.terminal,
                                                *restart_rng_);
         };
-    restart_rng_ = std::make_unique<sim::RandomStream>(config_.run.seed,
-                                                       /*stream_id=*/777);
+    restart_rng_ = std::make_unique<sim::RandomStream>(
+        config_.run.seed, sim::stream_ids::kFakeRestartStream);
   }
 
   cohort_service_ = std::make_unique<txn::CohortService>(services);
@@ -342,6 +340,7 @@ RunResult System::Run() {
   double warmup = config_.run.warmup_sec;
   double measure = config_.run.measure_sec;
   if (warmup > 0) {
+    // ccsim-analyze: coro-ok(sim_ is a member of this System; the event cannot fire after System is gone)
     sim_.At(warmup, [this] { ResetStatsAtWarmup(); });
   }
   sim_.ConfigureWatchdog(

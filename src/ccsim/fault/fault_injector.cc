@@ -15,14 +15,16 @@ FaultInjector::FaultInjector(sim::Simulation* sim,
       params_(params),
       hooks_(std::move(hooks)),
       num_proc_nodes_(num_proc_nodes),
-      drop_rng_(master_seed, kDropStreamId),
-      disk_rng_(master_seed, kDiskStreamId) {
+      drop_rng_(master_seed, sim::stream_ids::kFaultDropStream),
+      disk_rng_(master_seed, sim::stream_ids::kFaultDiskStream) {
   CCSIM_CHECK(num_proc_nodes >= 1);
   if (params_.node_mttf_sec > 0.0) {
     crash_rngs_.reserve(static_cast<std::size_t>(num_proc_nodes));
     for (NodeId id = 1; id <= num_proc_nodes; ++id) {
       crash_rngs_.push_back(std::make_unique<sim::RandomStream>(
-          master_seed, kCrashStreamBase + static_cast<std::uint64_t>(id)));
+          master_seed,
+          sim::stream_ids::kFaultCrashStreamBase +
+              static_cast<std::uint64_t>(id)));
     }
   }
 }

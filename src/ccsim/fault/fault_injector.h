@@ -13,6 +13,7 @@
 #include "ccsim/sim/process.h"
 #include "ccsim/sim/random.h"
 #include "ccsim/sim/simulation.h"
+#include "ccsim/sim/stream_ids.h"
 
 namespace ccsim::fault {
 
@@ -30,13 +31,6 @@ namespace ccsim::fault {
 /// event-for-event the paper's failure-free machine.
 class FaultInjector {
  public:
-  /// Stream-id space: far above the model's own streams (nodes use bases
-  /// 1000/5000, the fake-restart stream is 777) so fault streams never
-  /// collide with model streams however either side grows.
-  static constexpr std::uint64_t kDropStreamId = 8900;
-  static constexpr std::uint64_t kDiskStreamId = 8901;
-  static constexpr std::uint64_t kCrashStreamBase = 9000;  // + node id
-
   struct Hooks {
     /// Applied when a node fails / comes back. The engine updates node
     /// state, drains in-flight work, and records availability.

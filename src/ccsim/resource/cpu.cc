@@ -62,6 +62,7 @@ void Cpu::StartNextMessage() {
   CCSIM_CHECK(!msg_in_service_ && !msg_queue_.empty());
   msg_in_service_ = true;
   sim::SimTime duration = msg_queue_.front().duration;
+  // ccsim-analyze: coro-ok(Cpu is owned by its Node which System keeps alive past the calendar teardown)
   sim_->After(duration, [this] { OnMessageDone(); });
 }
 
@@ -92,6 +93,7 @@ void Cpu::ReschedulePsEvent() {
   double dv = v_min - v_now_;
   if (dv < 0.0) dv = 0.0;
   sim::SimTime dt = dv * static_cast<double>(ps_jobs_.size());
+  // ccsim-analyze: coro-ok(Cpu outlives the calendar; the PS event is additionally cancelled on reschedule)
   ps_event_ = sim_->After(dt, [this] { OnPsEvent(); });
   ps_event_pending_ = true;
 }

@@ -44,6 +44,7 @@ void Disk::StartNext() {
   wait_times_.Record(sim_->Now() - req.enqueue_time);
   sim::SimTime service = rng_.Uniform(min_time_, max_time_);
   if (fault_extra_time_) service += fault_extra_time_();
+  // ccsim-analyze: coro-ok(Disk is owned by its Node which System keeps alive past the calendar teardown)
   sim_->After(service, [this, req = std::move(req)] {
     in_service_ = false;
     ++accesses_completed_;

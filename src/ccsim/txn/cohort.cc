@@ -101,6 +101,7 @@ sim::Process CohortService::RunCohort(TxnPtr txn, int attempt,
   // locks behind a lost message.
   const config::FaultParams& f = s_.config->faults;
   if (f.any() && f.msg_timeout_sec > 0.0) {
+    // ccsim-analyze: coro-ok(CohortService lives in System beyond the calendar; txn is a shared_ptr kept alive by the capture and staleness is re-checked on fire)
     s_.sim->After(f.msg_timeout_sec, [this, txn, attempt, cohort_index, node] {
       if (txn->IsStaleAttempt(attempt)) return;
       CohortRuntime& c = txn->cohort(cohort_index);

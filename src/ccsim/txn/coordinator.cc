@@ -233,6 +233,7 @@ void CoordinatorService::OnAbortAck(const TxnPtr& txn, int attempt,
 void CoordinatorService::ScheduleRestart(const TxnPtr& txn) {
   txn->set_phase(TxnPhase::kRestartWait);
   double delay = s_.restart_delay ? s_.restart_delay() : 0.0;
+  // ccsim-analyze: coro-ok(CoordinatorService lives in System beyond the calendar; txn is a shared_ptr kept alive by the capture)
   s_.sim->After(delay, [this, txn] {
     if (s_.regenerate_spec) {
       txn->ReplaceSpec(s_.regenerate_spec(txn->spec()));
@@ -263,6 +264,7 @@ void CoordinatorService::ArmPhaseTimer(const TxnPtr& txn) {
   if (!f.any() || f.msg_timeout_sec <= 0.0) return;
   DisarmPhaseTimer(txn);
   int attempt = txn->attempt();
+  // ccsim-analyze: coro-ok(CoordinatorService lives in System beyond the calendar; txn is a shared_ptr kept alive by the capture and the attempt guard rejects stale fires)
   txn->phase_timer = s_.sim->After(f.msg_timeout_sec, [this, txn, attempt] {
     txn->phase_timer = 0;
     OnPhaseTimeout(txn, attempt);

@@ -3,13 +3,11 @@
 #include <utility>
 
 #include "ccsim/sim/check.h"
+#include "ccsim/sim/stream_ids.h"
 
 namespace ccsim::workload {
 
-namespace {
-// RandomStream id space reserved for terminals (see DESIGN.md Sec 5).
-constexpr std::uint64_t kTerminalStreamBase = 100000;
-}  // namespace
+using sim::stream_ids::kTerminalStreamBase;
 
 Source::Source(sim::Simulation* sim, const config::SystemConfig* config,
                const db::Catalog* catalog, SubmitFn submit)

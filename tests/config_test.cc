@@ -134,6 +134,22 @@ TEST(ConfigFingerprint, SensitiveToEveryInterestingKnob) {
   c.machine.num_proc_nodes = 4;
   c.placement.degree = 4;
   EXPECT_NE(c.Fingerprint(), fp);
+
+  // An audit run reports different result fields (audited/serializable), so
+  // it must not share a cache slot with the plain run of the same config.
+  c = base;
+  c.run.enable_audit = true;
+  EXPECT_NE(c.Fingerprint(), fp);
+}
+
+TEST(ConfigFingerprint, DiagnosticKnobsDoNotKeyTheCache) {
+  // The watchdog only decides whether a broken run dies loudly; arming it
+  // must not invalidate cached results (fp-exempt in params.h).
+  SystemConfig base = PaperBaseConfig();
+  SystemConfig c = base;
+  c.run.watchdog_max_events = 1000000000;
+  c.run.watchdog_stall_sec = 3600.0;
+  EXPECT_EQ(c.Fingerprint(), base.Fingerprint());
 }
 
 TEST(ConfigToString, AlgorithmNames) {

@@ -1,0 +1,363 @@
+"""Lightweight C++ source model shared by the ccsim_analyze rule passes.
+
+This is deliberately not a real C++ frontend. The rule passes need four
+things a frontend would give us and a token scanner can approximate well
+enough for this codebase's style (clang-format'd, no macros that generate
+declarations, one class per header):
+
+  * comment/string-stripped text with a position -> line mapping,
+  * balanced-delimiter extents (call argument lists, brace bodies),
+  * struct/class member-field lists with declaration lines,
+  * waiver annotations (`// ccsim-analyze: <tag>(<reason>)`).
+
+Where the approximation is wrong it is wrong toward *more* findings, and a
+finding can always be waived with a reasoned annotation; silent false
+negatives are the failure mode we spend effort avoiding (see the fingerprint
+pass, which resolves field names against the whole Fingerprint() body rather
+than trying to parse expressions).
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import re
+from dataclasses import dataclass, field
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp", ".cxx")
+
+# Waiver annotation: `ccsim-analyze: <tag>(<reason>)`. The reason is
+# mandatory (an empty one yields an `empty-annotation` finding); it is the
+# audit trail for why the flagged construct is safe.
+ANNOTATION_RE = re.compile(r"ccsim-analyze:\s*([a-z-]+)\(([^)]*)\)")
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Per-line code with comments and string/char literals blanked.
+
+    Handles // and /* */ comments and simple escapes within literals. Raw
+    strings are treated like plain strings (good enough for this codebase).
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        code = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if in_block:
+                if c == "*" and nxt == "/":
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if c == "/" and nxt == "/":
+                break  # rest of line is a comment
+            if c == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if c in ('"', "'"):
+                quote = c
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                code.append(quote + quote)  # keep a token boundary
+                continue
+            code.append(c)
+            i += 1
+        out.append("".join(code))
+    return out
+
+
+class SourceFile:
+    """One parsed source file: raw lines, stripped code, and position maps."""
+
+    def __init__(self, path: str, root: str):
+        self.path = path
+        self.rel = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.raw = f.read().splitlines()
+        self.code = strip_comments_and_strings(self.raw)
+        self.text = "\n".join(self.code)
+        # Offset of the start of each line within `text`, for line_of().
+        self._starts = [0]
+        for line in self.code[:-1] if self.code else []:
+            self._starts.append(self._starts[-1] + len(line) + 1)
+
+    def line_of(self, idx: int) -> int:
+        """1-based line number of character offset `idx` in self.text."""
+        return bisect.bisect_right(self._starts, idx)
+
+    def annotations(self, lineno: int) -> dict[str, str]:
+        """ccsim-analyze annotations applying to 1-based `lineno` (the same
+        line or the two lines above it). Returns {tag: reason}."""
+        found: dict[str, str] = {}
+        for ln in (lineno, lineno - 1, lineno - 2):
+            if 1 <= ln <= len(self.raw):
+                for m in ANNOTATION_RE.finditer(self.raw[ln - 1]):
+                    found.setdefault(m.group(1), m.group(2).strip())
+        return found
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def add_finding(findings: list[Finding], sf: SourceFile, line: int, rule: str,
+                waiver_tag: str | None, message: str) -> None:
+    """Appends a finding unless a reasoned waiver annotation covers it.
+
+    A waiver with an empty reason does not waive; it produces an extra
+    `empty-annotation` finding (the reason documents the human audit)."""
+    if waiver_tag is not None:
+        ann = sf.annotations(line)
+        if waiver_tag in ann:
+            if ann[waiver_tag]:
+                return
+            findings.append(Finding(
+                sf.rel, line, "empty-annotation",
+                f"annotation {waiver_tag}() needs a reason"))
+    findings.append(Finding(sf.rel, line, rule, message))
+
+
+_DELIM_CLOSE = {"(": ")", "[": "]", "{": "}"}
+
+
+def match_delim(text: str, open_idx: int) -> int:
+    """Index of the delimiter closing text[open_idx], or -1 if unbalanced.
+
+    text must be comment/string-stripped. Angle brackets are not tracked
+    (they are ambiguous with comparisons); parens/brackets/braces nest."""
+    open_c = text[open_idx]
+    close_c = _DELIM_CLOSE[open_c]
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == open_c:
+            depth += 1
+        elif c == close_c:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def split_args(text: str) -> list[str]:
+    """Splits an argument-list body on top-level commas (parens, brackets,
+    braces and single-level template angles respected)."""
+    args: list[str] = []
+    depth = 0
+    angle = 0
+    cur: list[str] = []
+    for c in text:
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "<":
+            angle += 1
+        elif c == ">":
+            angle = max(0, angle - 1)
+        if c == "," and depth == 0 and angle == 0:
+            args.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    if cur and "".join(cur).strip():
+        args.append("".join(cur))
+    return args
+
+
+# --------------------------------------------------------------------------
+# Struct parsing.
+
+
+@dataclass
+class StructField:
+    name: str
+    type: str
+    line: int
+
+
+@dataclass
+class StructDef:
+    name: str
+    line: int
+    fields: list[StructField] = field(default_factory=list)
+
+
+_STRUCT_RE = re.compile(r"\b(?:struct|class)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
+                        r"(?::[^{;]*)?\{")
+
+_SKIP_STMT_PREFIXES = ("using ", "typedef ", "friend ", "static ",
+                       "static_assert", "template", "enum ", "struct ",
+                       "class ", "explicit ", "virtual ", "operator")
+
+
+def parse_structs(sf: SourceFile) -> dict[str, StructDef]:
+    """Member-variable declarations of every struct/class in the file.
+
+    Member functions, nested types, using-declarations and static members are
+    skipped. Default member initializers (including brace initializers) are
+    understood. Line numbers point at the declaration for waiver lookup."""
+    structs: dict[str, StructDef] = {}
+    for m in _STRUCT_RE.finditer(sf.text):
+        open_idx = m.end() - 1
+        close_idx = match_delim(sf.text, open_idx)
+        if close_idx < 0:
+            continue
+        sdef = StructDef(m.group(1), sf.line_of(m.start()))
+        _parse_fields(sf, open_idx + 1, close_idx, sdef)
+        structs[sdef.name] = sdef
+    return structs
+
+
+def _parse_fields(sf: SourceFile, start: int, end: int,
+                  sdef: StructDef) -> None:
+    text = sf.text
+    i = start
+    stmt: list[str] = []
+    stmt_start = -1
+    while i < end:
+        c = text[i]
+        if c in "([{":
+            close = match_delim(text, i)
+            if close < 0 or close > end:
+                return  # malformed; bail on this struct
+            if c == "{" and "=" not in "".join(stmt):
+                # Function body or nested type definition: discard the
+                # statement built so far (its declarator is not a field).
+                stmt = []
+                stmt_start = -1
+            else:
+                # Call-ish parens or a brace/paren initializer: keep as an
+                # opaque blob so inner commas/semicolons don't split us.
+                if stmt_start < 0:
+                    stmt_start = i
+                stmt.append(text[i:close + 1])
+            i = close + 1
+            continue
+        if c == ";":
+            _handle_stmt(sf, "".join(stmt), stmt_start, sdef)
+            stmt = []
+            stmt_start = -1
+            i += 1
+            continue
+        if stmt_start < 0 and not c.isspace():
+            stmt_start = i
+        stmt.append(c)
+        i += 1
+
+
+def _handle_stmt(sf: SourceFile, stmt: str, stmt_start: int,
+                 sdef: StructDef) -> None:
+    s = re.sub(r"\b(?:public|private|protected)\s*:", "", stmt).strip()
+    s = re.sub(r"^\s*(?:mutable|inline)\s+", "", s)
+    if not s or s.startswith(_SKIP_STMT_PREFIXES):
+        return
+    # Drop any initializer ('=' or trailing brace-init blob).
+    s = s.split("=", 1)[0].strip()
+    if "(" in s or not s:
+        return  # function declaration / constructor
+    s = re.sub(r"\{.*\}$", "", s).strip()
+    m = re.match(r"(.+?)[\s&*]([A-Za-z_]\w*)\s*(?:\[[^\]]*\])?$", s, re.S)
+    if not m:
+        return
+    type_str = re.sub(r"\s+", " ", m.group(1)).strip()
+    name = m.group(2)
+    line = sf.line_of(stmt_start) if stmt_start >= 0 else sdef.line
+    sdef.fields.append(StructField(name, type_str, line))
+
+
+def function_body(sf: SourceFile, signature_re: str) -> tuple[str, int] | None:
+    """(body_text, body_start_idx) of the first function whose definition
+    matches `signature_re` in the stripped text, or None."""
+    m = re.search(signature_re, sf.text)
+    if not m:
+        return None
+    brace = sf.text.find("{", m.end())
+    if brace < 0:
+        return None
+    close = match_delim(sf.text, brace)
+    if close < 0:
+        return None
+    return sf.text[brace + 1:close], brace + 1
+
+
+# --------------------------------------------------------------------------
+# Shared helpers for container/variable discovery (used by the taint pass).
+
+UNORDERED_DECL_RE = re.compile(
+    r"(?:std\s*::\s*)?unordered_(?:multi)?(?:map|set)\s*<")
+
+
+def find_unordered_names(sf_or_text) -> set[str]:
+    """Names declared with an unordered container type (same heuristic as
+    ccsim_lint: balanced template args, then an identifier that starts a
+    declarator)."""
+    text = sf_or_text.text if isinstance(sf_or_text, SourceFile) else sf_or_text
+    names: set[str] = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        i = m.end()  # just past '<'
+        depth = 1
+        n = len(text)
+        while i < n and depth > 0:
+            if text[i] == "<":
+                depth += 1
+            elif text[i] == ">":
+                depth -= 1
+            i += 1
+        if depth != 0:
+            continue
+        rest = text[i:i + 160]
+        dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*[;={(,)]", rest)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def companion_paths(path: str) -> list[str]:
+    """Sibling files sharing the stem (foo.cc <-> foo.h), for member types
+    declared in the header and used in the implementation file."""
+    stem = re.sub(r"\.(h|hpp|cc|cpp|cxx)$", "", path)
+    out = []
+    for ext in CXX_EXTENSIONS:
+        p = stem + ext
+        if p != path and os.path.isfile(p):
+            out.append(p)
+    return out
+
+
+def collect_files(targets: list[str],
+                  skip_dirs: tuple[str, ...] = ("build", ".git",
+                                                "lint_fixtures")) -> list[str]:
+    files: list[str] = []
+    for t in targets:
+        if os.path.isfile(t):
+            files.append(t)
+            continue
+        if not os.path.isdir(t):
+            raise FileNotFoundError(t)
+        for dirpath, dirnames, filenames in os.walk(t):
+            dirnames[:] = sorted(d for d in dirnames if d not in skip_dirs)
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return files

@@ -1,0 +1,166 @@
+"""cache-schema pass: RunResult <-> serialize table <-> migration scripts.
+
+The result cache stores one text file per simulation point; its schema lives
+in four places that historically drifted apart by hand-editing:
+
+  1. the `engine::RunResult` struct (src/ccsim/engine/run.h),
+  2. the table-driven serialize/parse field table (`kFields` in
+     src/ccsim/experiments/cache.cc) and its `kFormatVersion`,
+  3. the derived `field_count` trailer (len(kFields), checked at parse time),
+  4. the latest `tools/migrate_cache_v*_to_v*.py` script, whose target
+     version and field count must describe the current format.
+
+PR 2 found 722 cache entries silently defaulting two counters because the
+parser accepted any-18-field files; PR 4 hand-audited the v6 bump. This pass
+machine-checks the consistency: a RunResult field added without a table entry
+(or an explicit `ccsim-analyze: cache-exempt(reason)` waiver on the field),
+a table key that does not match its member name, a type-mismatched row, a
+stale table row, or a migration script whose target version / field count
+disagrees with `kFormatVersion` / len(kFields) all fail CI.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from cppmodel import Finding, SourceFile, add_finding, parse_structs
+
+TABLE_ENTRY_RE = re.compile(
+    r"\b([DUB])\s*\(\s*\"(\w+)\"\s*,\s*&R\s*::\s*(\w+)\s*\)")
+FORMAT_VERSION_RE = re.compile(r"\bkFormatVersion\s*=\s*(\d+)")
+MIGRATE_NAME_RE = re.compile(r"^migrate_cache_v(\d+)_to_v(\d+)\.py$")
+
+# RunResult field type -> expected table row macro.
+_TYPE_TO_MACRO = {
+    "double": "D",
+    "std::uint64_t": "U",
+    "uint64_t": "U",
+    "bool": "B",
+}
+
+
+def run(run_h: str, cache_cc: str, tools_dir: str, root: str,
+        result_struct: str = "RunResult") -> list[Finding]:
+    findings: list[Finding] = []
+    run_sf = SourceFile(run_h, root)
+    cache_sf = SourceFile(cache_cc, root)
+
+    structs = parse_structs(run_sf)
+    if result_struct not in structs:
+        findings.append(Finding(run_sf.rel, 0, "cache-schema",
+                                f"struct {result_struct} not found"))
+        return findings
+    fields = structs[result_struct].fields
+
+    # Keys are string literals, which the stripped text blanks — so match
+    # table rows on the raw lines, and use the stripped line to reject rows
+    # that live inside comments. (Rows are one-per-line by clang-format.)
+    entries = []  # (macro, key, member, line)
+    for lineno0, (raw_line, code_line) in enumerate(
+            zip(cache_sf.raw, cache_sf.code)):
+        for m in TABLE_ENTRY_RE.finditer(raw_line):
+            if "&R" in code_line:
+                entries.append((m.group(1), m.group(2), m.group(3),
+                                lineno0 + 1))
+    if not entries:
+        findings.append(Finding(cache_sf.rel, 0, "cache-schema",
+                                "no D/U/B field-table entries found"))
+        return findings
+
+    by_member = {}
+    seen_keys = {}
+    for macro, key, member, line in entries:
+        if key != member:
+            findings.append(Finding(
+                cache_sf.rel, line, "cache-schema",
+                f'table key "{key}" does not match member &R::{member}; '
+                "a renamed key orphans every committed cache entry and a "
+                "mismatched member stores the value in the wrong field"))
+        if key in seen_keys:
+            findings.append(Finding(
+                cache_sf.rel, line, "cache-schema",
+                f'duplicate table key "{key}" (first at line '
+                f"{seen_keys[key]}); the parser's seen-field mask would "
+                "count it once and reject every file"))
+        seen_keys.setdefault(key, line)
+        if member in by_member:
+            findings.append(Finding(
+                cache_sf.rel, line, "cache-schema",
+                f"duplicate table member &R::{member}"))
+        by_member.setdefault(member, (macro, line))
+
+    struct_members = {f.name for f in fields}
+    for f in fields:
+        if f.name in by_member:
+            macro, line = by_member[f.name]
+            want = _TYPE_TO_MACRO.get(f.type)
+            if want is not None and macro != want:
+                findings.append(Finding(
+                    cache_sf.rel, line, "cache-schema",
+                    f"&R::{f.name} is declared {f.type} but serialized via "
+                    f"{macro}(); integer counters routed through double "
+                    "silently corrupt above 2^53 (the PR 2 bug class)"))
+            elif want is None:
+                findings.append(Finding(
+                    cache_sf.rel, line, "cache-schema",
+                    f"&R::{f.name} has unserializable type {f.type} in the "
+                    "field table"))
+            continue
+        add_finding(
+            findings, run_sf, f.line, "cache-schema", "cache-exempt",
+            f"{result_struct}::{f.name} is not in the cache field table "
+            f"({cache_sf.rel}); without a table row (and a format bump + "
+            "migration script) cached entries silently default this field. "
+            "Add it or waive with ccsim-analyze: cache-exempt(reason)")
+    for member, (_, line) in by_member.items():
+        if member not in struct_members:
+            findings.append(Finding(
+                cache_sf.rel, line, "cache-schema",
+                f"table row &R::{member} has no matching {result_struct} "
+                "field (stale entry?)"))
+
+    # --- format version vs. the migration-script lineage ------------------
+    vm = FORMAT_VERSION_RE.search(cache_sf.text)
+    if vm is None:
+        findings.append(Finding(cache_sf.rel, 0, "cache-schema",
+                                "kFormatVersion constant not found"))
+        return findings
+    version = int(vm.group(1))
+    version_line = cache_sf.line_of(vm.start())
+
+    migrations = []
+    if os.path.isdir(tools_dir):
+        for name in sorted(os.listdir(tools_dir)):
+            m = MIGRATE_NAME_RE.match(name)
+            if m:
+                migrations.append((int(m.group(1)), int(m.group(2)), name))
+    if migrations:
+        latest_from, latest_to, latest_name = max(
+            migrations, key=lambda t: t[1])
+        if latest_to != version:
+            findings.append(Finding(
+                cache_sf.rel, version_line, "cache-schema",
+                f"kFormatVersion is {version} but the latest migration "
+                f"script ({latest_name}) targets v{latest_to}; bumping the "
+                "format without a migration strands the committed entries"))
+        else:
+            mig_path = os.path.join(tools_dir, latest_name)
+            with open(mig_path, "r", encoding="utf-8", errors="replace") as f:
+                mig_text = f.read()
+            cm = re.search(rf"\bV{latest_to}_FIELD_COUNT\s*=\s*(\d+)",
+                           mig_text)
+            mig_rel = os.path.relpath(mig_path, root).replace(os.sep, "/")
+            if cm is None:
+                findings.append(Finding(
+                    mig_rel, 0, "cache-schema",
+                    f"migration script defines no V{latest_to}_FIELD_COUNT; "
+                    "the script must assert the post-migration field count"))
+            elif int(cm.group(1)) != len(entries):
+                findings.append(Finding(
+                    mig_rel, 0, "cache-schema",
+                    f"V{latest_to}_FIELD_COUNT is {cm.group(1)} but the "
+                    f"field table has {len(entries)} rows; the migrated "
+                    "trailer would be rejected by ParseResult"))
+
+    return findings

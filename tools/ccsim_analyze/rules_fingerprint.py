@@ -1,0 +1,109 @@
+"""fingerprint pass: every config field must key the result cache.
+
+PR 2 shipped a silent stale-cache bug: `RunParams::rt_batch_size` changed a
+reported metric but was missing from `SystemConfig::Fingerprint()`, so sweeps
+happily served cached results for configurations they had never run. This
+pass makes that class of bug a CI failure: every member field of every struct
+reachable from `SystemConfig` (in `src/ccsim/config/`) must either
+
+  * be mentioned by name somewhere in the body of
+    `SystemConfig::Fingerprint()` (unconditional `Mix`, conditional
+    default-deviation `Mix`, or a loop over a sub-struct vector), or
+  * carry an explicit waiver on its declaration:
+        // ccsim-analyze: fp-exempt(<why this field can never change metrics>)
+
+The check is name-resolution, not data-flow: a field mentioned only inside a
+comment does not count (comments are stripped), but a field mixed under a
+condition does. That is deliberate — conditional mixing (the "mix only when
+deviating from the default" idiom that keeps old fingerprints stable) is a
+supported pattern, and the audit question "is the condition right?" is for
+the human reviewer; the analyzer's job is the silent-omission case.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from cppmodel import (Finding, SourceFile, StructDef, add_finding,
+                      function_body, parse_structs)
+
+FINGERPRINT_BODY_RE = r"::\s*Fingerprint\s*\(\s*\)\s*const"
+
+
+def _struct_of_type(type_str: str, structs: dict[str, StructDef]):
+    """The known struct named in `type_str` (directly or as a container
+    element type), or None for leaf fields."""
+    for name in structs:
+        if re.search(rf"\b{re.escape(name)}\b", type_str):
+            return structs[name]
+    return None
+
+
+def run(config_dir: str, root: str,
+        root_struct: str = "SystemConfig") -> list[Finding]:
+    findings: list[Finding] = []
+
+    headers = []
+    impls = []
+    for name in sorted(os.listdir(config_dir)):
+        path = os.path.join(config_dir, name)
+        if name.endswith((".h", ".hpp")):
+            headers.append(SourceFile(path, root))
+        elif name.endswith((".cc", ".cpp", ".cxx")):
+            impls.append(SourceFile(path, root))
+
+    structs: dict[str, StructDef] = {}
+    owner: dict[str, SourceFile] = {}
+    for sf in headers:
+        for sname, sdef in parse_structs(sf).items():
+            structs[sname] = sdef
+            owner[sname] = sf
+
+    body = None
+    body_sf = None
+    for sf in impls:
+        found = function_body(sf, FINGERPRINT_BODY_RE)
+        if found:
+            body = found[0]
+            body_sf = sf
+            break
+
+    rel_dir = os.path.relpath(config_dir, root).replace(os.sep, "/")
+    if root_struct not in structs:
+        findings.append(Finding(rel_dir, 0, "fingerprint",
+                                f"struct {root_struct} not found in any "
+                                f"header under {rel_dir}"))
+        return findings
+    if body is None:
+        findings.append(Finding(rel_dir, 0, "fingerprint",
+                                "no ::Fingerprint() const definition found "
+                                f"under {rel_dir}"))
+        return findings
+
+    seen: set[str] = set()
+
+    def check(sdef: StructDef) -> None:
+        if sdef.name in seen:
+            return
+        seen.add(sdef.name)
+        sf = owner[sdef.name]
+        for f in sdef.fields:
+            sub = _struct_of_type(f.type, structs)
+            if sub is not None:
+                check(sub)
+                continue
+            if re.search(rf"\b{re.escape(f.name)}\b", body):
+                continue
+            add_finding(
+                findings, sf, f.line, "fingerprint", "fp-exempt",
+                f"{sdef.name}::{f.name} is not mixed into "
+                f"{root_struct}::Fingerprint() "
+                f"({body_sf.rel}); a config knob missing from the "
+                "fingerprint silently serves stale cached results. Mix it "
+                "(guarded by its default if old fingerprints must survive) "
+                "or waive with ccsim-analyze: fp-exempt(reason)")
+        return
+
+    check(structs[root_struct])
+    return findings

@@ -1,0 +1,121 @@
+"""rng-stream pass: RandomStream ids come from the central registry.
+
+Every RandomStream is seeded as (master_seed, stream_id); determinism across
+the whole experiment corpus rests on stream ids being unique and frozen.
+Ad-hoc numeric ids scattered through the model (the 8900/9000+ literals that
+used to live in fault_injector.cc, the bare 777 in system.cc) made collisions
+and silent renumbering a code-review problem. They are now constants in
+src/ccsim/sim/stream_ids.h, and this pass enforces the discipline in src/:
+
+  * the stream-id argument of every RandomStream construction (direct,
+    make_unique, or member-initializer of a declared RandomStream member)
+    must reference a registry constant — or at least an identifier that
+    visibly plumbs one (its name contains "stream"), for bases passed down
+    through constructor parameters;
+  * integer literals >= 10 in a stream-id expression are banned (small
+    additive offsets like `base + 1 + i` are fine; a raw id is not).
+
+Waive with `// ccsim-analyze: stream-ok(<reason>)`. The registry itself and
+the RandomStream implementation are skipped. The same registry file feeds the
+generated stream-map table (tools/ccsim_analyze --emit-stream-map).
+"""
+
+from __future__ import annotations
+
+import re
+
+from cppmodel import (Finding, SourceFile, add_finding, companion_paths,
+                      match_delim, split_args, strip_comments_and_strings)
+
+SKIP_REL_SUFFIXES = ("ccsim/sim/random.h", "ccsim/sim/random.cc",
+                     "ccsim/sim/stream_ids.h")
+
+REGISTRY_CONST_RE = re.compile(r"\bconstexpr\s+std::uint64_t\s+(k\w+)\s*=")
+DECL_RE = re.compile(r"\bRandomStream\s+([A-Za-z_]\w*)\s*[;,)=({]")
+DIRECT_CTOR_RE = re.compile(r"\bRandomStream\s*\(")
+MAKE_UNIQUE_RE = re.compile(
+    r"\bmake_unique\s*<\s*(?:sim\s*::\s*)?RandomStream\s*>\s*\(")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+INT_LITERAL_RE = re.compile(r"\b\d+\b")
+
+# Identifiers that never name a stream id (casts, fixed-width types).
+_NOISE_IDENTS = frozenset({
+    "static_cast", "std", "uint64_t", "uint32_t", "int64_t", "size_t",
+    "int", "auto", "const",
+})
+
+
+def load_registry(registry_path: str, root: str):
+    """Registry constant names, or (None, finding) when the file is absent."""
+    import os
+    if not os.path.isfile(registry_path):
+        rel = os.path.relpath(registry_path, root).replace(os.sep, "/")
+        return None, Finding(rel, 0, "rng-stream",
+                             "stream-id registry header not found; every "
+                             "RandomStream id must be declared there")
+    with open(registry_path, "r", encoding="utf-8", errors="replace") as f:
+        text = "\n".join(strip_comments_and_strings(f.read().splitlines()))
+    return set(REGISTRY_CONST_RE.findall(text)), None
+
+
+def _stream_id_ok(arg: str, registry: set[str]) -> tuple[bool, str]:
+    idents = [i for i in IDENT_RE.findall(arg) if i not in _NOISE_IDENTS]
+    named = any(i in registry or "stream" in i.lower() for i in idents)
+    big_literals = [t for t in INT_LITERAL_RE.findall(arg) if int(t) >= 10]
+    if big_literals:
+        return False, (f"raw stream-id literal {big_literals[0]}; ids are "
+                       "assigned once in ccsim/sim/stream_ids.h so bands "
+                       "never collide or silently renumber")
+    if not named:
+        return False, ("stream id names no registry constant (and no "
+                       "*stream* identifier plumbing one); draw it from "
+                       "ccsim/sim/stream_ids.h")
+    return True, ""
+
+
+def _check_file(sf: SourceFile, root: str, registry: set[str],
+                findings: list[Finding]) -> None:
+    text = sf.text
+
+    # RandomStream members/locals declared here or in the companion header:
+    # their name used as a call is a construction (member-init list).
+    names = set(DECL_RE.findall(text))
+    for comp in companion_paths(sf.path):
+        comp_sf = SourceFile(comp, root)
+        names |= set(DECL_RE.findall(comp_sf.text))
+
+    sites = []  # (args_open_idx,)
+    for m in DIRECT_CTOR_RE.finditer(text):
+        sites.append(m.end() - 1)
+    for m in MAKE_UNIQUE_RE.finditer(text):
+        sites.append(m.end() - 1)
+    if names:
+        alt = "|".join(re.escape(n) for n in sorted(names))
+        for m in re.finditer(rf"\b(?:{alt})\s*\(", text):
+            sites.append(m.end() - 1)
+
+    for open_idx in sorted(set(sites)):
+        close_idx = match_delim(text, open_idx)
+        if close_idx < 0:
+            continue
+        args = split_args(text[open_idx + 1:close_idx])
+        if len(args) != 2:
+            continue  # copy/move/default construction, or not a ctor at all
+        ok, why = _stream_id_ok(args[1], registry)
+        if not ok:
+            add_finding(findings, sf, sf.line_of(open_idx), "rng-stream",
+                        "stream-ok",
+                        f"RandomStream construction: {why}")
+
+
+def run(files: list[SourceFile], registry_path: str, root: str,
+        skip_suffixes: tuple[str, ...] = SKIP_REL_SUFFIXES) -> list[Finding]:
+    findings: list[Finding] = []
+    registry, missing = load_registry(registry_path, root)
+    if registry is None:
+        return [missing]
+    for sf in files:
+        if sf.rel.endswith(skip_suffixes):
+            continue
+        _check_file(sf, root, registry, findings)
+    return findings

@@ -1,0 +1,117 @@
+"""determinism-taint pass: unordered iteration feeding order-sensitive sinks.
+
+ccsim_lint already flags *mutation during* unordered iteration (the
+iterator-invalidation rule). This pass asks the determinism question instead:
+does a value produced while walking an `unordered_map`/`unordered_set` flow
+into something whose *order* the simulation can observe?
+
+The sinks, in decreasing order of blast radius:
+
+  * event scheduling  — `At/After/Schedule*/ResumeLater` called inside an
+    unordered loop enqueues calendar events in hash order; two runs with the
+    same seed diverge the moment a tie in timestamps is broken by insertion
+    order (DESIGN decision #4 pins tie-breaks to sequence numbers *within*
+    the calendar, but the sequence numbers themselves then encode hash
+    order).
+  * victim selection  — choosing a transaction to abort/wound/restart while
+    iterating a hash container picks a hash-order-dependent victim; the
+    deadlock detector must sort candidates first (lock_table.cc does).
+  * stats/output      — `Mix`-ing into a fingerprint, printing, or recording
+    a metric in hash order makes goldens and digests flap across libstdc++
+    versions.
+
+The pass is deliberately "taint-lite": the loop body is the taint region; a
+sink regex hit inside it is a finding. No interprocedural flow, no alias
+analysis — a human with a `ccsim-analyze: taint-ok(<reason>)` waiver is the
+escape hatch, and the reason must say why the order cannot be observed
+(commutative fold, sorted copy, singleton container, ...).
+"""
+
+from __future__ import annotations
+
+import re
+
+from cppmodel import (Finding, SourceFile, add_finding, companion_paths,
+                      find_unordered_names, match_delim)
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+
+SINKS = (
+    ("schedule",
+     re.compile(r"\b(?:At|After|Schedule|ScheduleResume|ResumeLater)\s*\("),
+     "schedules a calendar event in hash order; same-timestamp events then "
+     "fire in a libstdc++-dependent order"),
+    ("victim-selection",
+     re.compile(r"\b(?:Abort|Wound|Die|Kill|Restart)\w*\s*\(|\bvictim\b"),
+     "selects an abort/restart victim in hash order; sort the candidates "
+     "deterministically first (txn id) as the deadlock detector does"),
+    ("stats-output",
+     re.compile(r"\b(?:Mix|Record)\w*\s*\(|\bprintf\s*\(|\bfprintf\s*\("
+                r"|\bcout\b|\bcerr\b"),
+     "emits stats/hash input in hash order; digests and goldens then flap "
+     "across standard-library versions"),
+)
+
+
+def _loop_extent(text: str, for_open: int) -> tuple[str, int] | None:
+    """(header, body_end_idx) for the for-loop whose '(' is at for_open;
+    body is text[hdr_close+1 .. body_end]. Single-statement bodies extend to
+    the next ';'."""
+    hdr_close = match_delim(text, for_open)
+    if hdr_close < 0:
+        return None
+    header = text[for_open + 1:hdr_close]
+    i = hdr_close + 1
+    n = len(text)
+    while i < n and text[i].isspace():
+        i += 1
+    if i < n and text[i] == "{":
+        end = match_delim(text, i)
+        return (header, end) if end >= 0 else None
+    end = text.find(";", i)
+    return (header, end) if end >= 0 else None
+
+
+def _check_file(sf: SourceFile, root: str, findings: list[Finding]) -> None:
+    text = sf.text
+    names = find_unordered_names(sf)
+    for comp in companion_paths(sf.path):
+        names |= find_unordered_names(SourceFile(comp, root))
+    if not names:
+        return
+    name_alt = "|".join(re.escape(n) for n in sorted(names))
+    # Range-for over a known unordered container (possibly via members/deref:
+    # `: table_`, `: node->held_`, `: *locks`).
+    ranged_re = re.compile(
+        rf":\s*[&*]?\s*(?:[A-Za-z_]\w*\s*(?:\.|->)\s*)*(?:{name_alt})\s*$")
+
+    for m in RANGE_FOR_RE.finditer(text):
+        extent = _loop_extent(text, m.end() - 1)
+        if extent is None:
+            continue
+        header, body_end = extent
+        if not ranged_re.search(header.strip()):
+            continue
+        hdr_close = m.end() - 1 + len(header) + 1
+        body = text[hdr_close + 1:body_end]
+        line = sf.line_of(m.start())
+        for sink_name, sink_re, why in SINKS:
+            sm = sink_re.search(body)
+            if not sm:
+                continue
+            sink_line = sf.line_of(hdr_close + 1 + sm.start())
+            add_finding(
+                findings, sf, line, "determinism-taint", "taint-ok",
+                f"loop over unordered container {why} "
+                f"(sink `{sm.group(0).strip()}` at line {sink_line}). "
+                "Iterate a sorted copy, hoist the sink out of the loop, or "
+                "waive with ccsim-analyze: taint-ok(reason) explaining why "
+                "the order is unobservable")
+            break  # one finding per loop; the first sink is the headline
+
+
+def run(files: list[SourceFile], root: str) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in files:
+        _check_file(sf, root, findings)
+    return findings

@@ -1,0 +1,101 @@
+"""Generated RNG stream-map documentation.
+
+The registry (src/ccsim/sim/stream_ids.h) is the single source of truth for
+stream-id assignments; EXPERIMENTS.md carries a human-readable table of the
+bands between `<!-- ccsim-analyze:stream-map:begin -->` / `:end` markers.
+This module renders the table from the registry's doc comments and — as the
+`stream-map-doc` rule — verifies the committed table is not stale. Refresh it
+with:
+
+    python3 tools/ccsim_analyze --emit-stream-map
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from cppmodel import Finding
+
+CONST_RE = re.compile(
+    r"^inline constexpr std::uint64_t (k\w+)\s*=\s*(\d+)\s*;")
+DOC_RE = re.compile(r"^///\s?(.*)$")
+
+BEGIN_MARK = "<!-- ccsim-analyze:stream-map:begin -->"
+END_MARK = "<!-- ccsim-analyze:stream-map:end -->"
+HEADER_NOTE = ("<!-- Generated from src/ccsim/sim/stream_ids.h by "
+               "`python3 tools/ccsim_analyze --emit-stream-map`. "
+               "Do not edit by hand. -->")
+
+
+def parse_registry(registry_path: str) -> list[tuple[str, int, str]]:
+    """(constant, value, doc) per registry entry, in declaration order. The
+    doc is the /// block immediately above the constant."""
+    with open(registry_path, "r", encoding="utf-8", errors="replace") as f:
+        lines = f.read().splitlines()
+    entries: list[tuple[str, int, str]] = []
+    doc: list[str] = []
+    for line in lines:
+        s = line.strip()
+        dm = DOC_RE.match(s)
+        if dm:
+            doc.append(dm.group(1))
+            continue
+        cm = CONST_RE.match(s)
+        if cm:
+            entries.append((cm.group(1), int(cm.group(2)),
+                            " ".join(d for d in doc if d).strip()))
+        # Anything that is not a /// line (blank lines included) ends the
+        # contiguous doc block, so the file-header comment is not attached
+        # to the first constant.
+        doc = []
+    return entries
+
+
+def render_table(registry_path: str) -> str:
+    rows = ["| Constant | Stream id | Assignment |",
+            "| --- | ---: | --- |"]
+    for name, value, doc in parse_registry(registry_path):
+        rows.append(f"| `{name}` | {value} | {doc} |")
+    return "\n".join([HEADER_NOTE] + rows) + "\n"
+
+
+def emit(registry_path: str, doc_path: str) -> bool:
+    """Rewrites the marker block in `doc_path` in place. Returns True if the
+    file changed."""
+    with open(doc_path, "r", encoding="utf-8") as f:
+        text = f.read()
+    begin = text.index(BEGIN_MARK) + len(BEGIN_MARK)
+    end = text.index(END_MARK)
+    new = text[:begin] + "\n" + render_table(registry_path) + text[end:]
+    if new == text:
+        return False
+    with open(doc_path, "w", encoding="utf-8") as f:
+        f.write(new)
+    return True
+
+
+def run(registry_path: str, doc_path: str, root: str) -> list[Finding]:
+    """stream-map-doc rule: the committed table matches the registry."""
+    rel = os.path.relpath(doc_path, root).replace(os.sep, "/")
+    if not os.path.isfile(doc_path):
+        return [Finding(rel, 0, "stream-map-doc", "document not found")]
+    with open(doc_path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    if BEGIN_MARK not in text or END_MARK not in text:
+        return [Finding(
+            rel, 0, "stream-map-doc",
+            f"missing {BEGIN_MARK} / {END_MARK} markers; the generated RNG "
+            "stream-map table has nowhere to live")]
+    begin = text.index(BEGIN_MARK) + len(BEGIN_MARK)
+    end = text.index(END_MARK)
+    committed = text[begin:end].strip()
+    expected = render_table(registry_path).strip()
+    if committed != expected:
+        line = text[:begin].count("\n") + 1
+        return [Finding(
+            rel, line, "stream-map-doc",
+            "stream-map table is stale relative to "
+            "src/ccsim/sim/stream_ids.h; regenerate with "
+            "`python3 tools/ccsim_analyze --emit-stream-map`")]
+    return []

@@ -1,0 +1,20 @@
+// Fixture: cache-schema pass, violating side (table).
+// Violations: key/member mismatch, duplicate member, type-macro mismatch,
+// stale row, missing row (run.h), migration field-count mismatch (tools/).
+#include "run.h"
+
+namespace {
+
+using R = RunResult;
+
+constexpr int kFormatVersion = 2;
+
+constexpr FieldDef kFields[] = {
+    D("throughput", &R::throughput),
+    U("commits", &R::commits),
+    D("mistyped", &R::mistyped),
+    U("stale_row", &R::stale_row),
+    D("wrong_key", &R::throughput),
+};
+
+}  // namespace

@@ -1,0 +1,18 @@
+// Fixture: cache-schema pass, violating side (struct).
+// Expected (with cache.cc + tools/): cache-schema x6.
+#ifndef CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_CACHE_BAD_RUN_H_
+#define CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_CACHE_BAD_RUN_H_
+
+#include <cstdint>
+#include <string>
+
+struct RunResult {
+  double throughput = 0.0;
+  std::uint64_t commits = 0;
+  double not_in_table = 0.0;   // missing table row
+  std::uint64_t mistyped = 0;  // serialized via D() below
+  // ccsim-analyze: cache-exempt(free-form text; waiver must hold even in a bad fixture)
+  std::string note;
+};
+
+#endif  // CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_CACHE_BAD_RUN_H_

@@ -1,0 +1,4 @@
+# Fixture: migration script whose field count disagrees with the table
+# (the table in ../cache.cc has 5 rows).
+V1_FIELD_COUNT = 2
+V2_FIELD_COUNT = 3

@@ -1,0 +1,16 @@
+// Fixture: cache-schema pass, clean side (table).
+#include "run.h"
+
+namespace {
+
+using R = RunResult;
+
+constexpr int kFormatVersion = 2;
+
+constexpr FieldDef kFields[] = {
+    D("throughput", &R::throughput),
+    U("commits", &R::commits),
+    B("audited", &R::audited),
+};
+
+}  // namespace

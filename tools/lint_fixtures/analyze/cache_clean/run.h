@@ -1,0 +1,16 @@
+// Fixture: cache-schema pass, clean side (struct). Expected: no findings.
+#ifndef CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_CACHE_CLEAN_RUN_H_
+#define CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_CACHE_CLEAN_RUN_H_
+
+#include <cstdint>
+#include <string>
+
+struct RunResult {
+  double throughput = 0.0;
+  std::uint64_t commits = 0;
+  bool audited = false;
+  // ccsim-analyze: cache-exempt(free-form diagnostic text; the cache stores the verdict, not the prose)
+  std::string note;
+};
+
+#endif  // CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_CACHE_CLEAN_RUN_H_

@@ -1,0 +1,3 @@
+# Fixture: migration script matching the clean table (3 rows, target v2).
+V1_FIELD_COUNT = 2
+V2_FIELD_COUNT = 3

@@ -1,0 +1,15 @@
+// Fixture: coroutine-lifetime pass, violating side.
+// Expected: coro-ref-capture, coro-this-capture, coro-raw-resume,
+// coro-unregistered-await (one each).
+#include "sim.h"
+
+void Node::Arm() {
+  int local = 0;
+  sim_->After(1.0, [&local] { local++; });
+  sim_->After(2.0, [this] { Tick(); });
+  handle_.resume();
+}
+
+Process Node::Run() {
+  co_await custom_awaitable_;
+}

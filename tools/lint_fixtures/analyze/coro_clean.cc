@@ -1,0 +1,14 @@
+// Fixture: coroutine-lifetime pass, clean side. Expected: no findings.
+// One audited this-capture waiver, one value capture, sanctioned awaits.
+#include "sim.h"
+
+void Node::Arm() {
+  // ccsim-analyze: coro-ok(System owns both this node and the calendar and tears the calendar down first)
+  sim_->After(1.0, [this] { Tick(); });
+  sim_->After(2.0, [id = id_, s = sim_] { s->Touch(id); });
+}
+
+Process Node::Run() {
+  co_await sim_->Delay(1.0);
+  co_await sim::Await(done_);
+}

@@ -1,0 +1,11 @@
+// Fixture: fingerprint pass, violating side (implementation).
+#include "params.h"
+
+std::uint64_t SystemConfig::Fingerprint() const {
+  std::uint64_t h = 0;
+  h ^= run.master_seed;
+  h ^= static_cast<std::uint64_t>(run.sim_seconds);
+  // missing_knob, bad_waiver_knob, top_level_missing: deliberately absent.
+  // (Mentions in comments must not count; comments are stripped.)
+  return h;
+}

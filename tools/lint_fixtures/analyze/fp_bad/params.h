@@ -1,0 +1,24 @@
+// Fixture: fingerprint pass, violating side.
+// Expected: fingerprint x3 (missing_knob, bad_waiver_knob, top_level_missing)
+//           + empty-annotation x1 (bad_waiver_knob's reasonless waiver).
+#ifndef CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_FP_BAD_PARAMS_H_
+#define CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_FP_BAD_PARAMS_H_
+
+#include <cstdint>
+
+struct RunParams {
+  double sim_seconds = 10.0;
+  std::uint64_t master_seed = 1;
+  double missing_knob = 0.0;
+
+  // ccsim-analyze: fp-exempt()
+  std::uint64_t bad_waiver_knob = 0;
+};
+
+struct SystemConfig {
+  RunParams run;
+  double top_level_missing = 1.0;
+  std::uint64_t Fingerprint() const;
+};
+
+#endif  // CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_FP_BAD_PARAMS_H_

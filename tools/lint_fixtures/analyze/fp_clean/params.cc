@@ -1,0 +1,13 @@
+// Fixture: fingerprint pass, clean side (implementation). One knob mixed
+// unconditionally, one via the conditional default-deviation idiom; both
+// count as covered.
+#include "params.h"
+
+std::uint64_t SystemConfig::Fingerprint() const {
+  std::uint64_t h = 0;
+  h ^= run.master_seed;
+  if (run.sim_seconds != 10.0) {
+    h ^= static_cast<std::uint64_t>(run.sim_seconds);
+  }
+  return h;
+}

@@ -1,0 +1,19 @@
+// Fixture: fingerprint pass, clean side. Expected: no findings.
+#ifndef CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_FP_CLEAN_PARAMS_H_
+#define CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_FP_CLEAN_PARAMS_H_
+
+#include <cstdint>
+
+struct RunParams {
+  double sim_seconds = 10.0;
+  std::uint64_t master_seed = 1;
+  // ccsim-analyze: fp-exempt(diagnostic kill switch; can never change a cached metric)
+  std::uint64_t debug_knob = 0;
+};
+
+struct SystemConfig {
+  RunParams run;
+  std::uint64_t Fingerprint() const;
+};
+
+#endif  // CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_FP_CLEAN_PARAMS_H_

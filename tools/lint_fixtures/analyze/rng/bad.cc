@@ -1,0 +1,8 @@
+// Fixture: rng-stream pass, violating side. Expected: rng-stream x3.
+#include <memory>
+
+void F(std::uint64_t seed, std::uint64_t some_id) {
+  RandomStream a(seed, 777);
+  auto b = std::make_unique<sim::RandomStream>(seed, 9000 + 1);
+  RandomStream c(seed, some_id);
+}

@@ -1,0 +1,12 @@
+// Fixture: rng-stream pass, clean side. Expected: no findings.
+#include <memory>
+
+void F(std::uint64_t seed, std::uint64_t node_stream_base) {
+  RandomStream a(seed, sim::stream_ids::kGoodStream);
+  RandomStream b(seed, node_stream_base + 3);
+  auto d = std::make_unique<sim::RandomStream>(
+      seed, sim::stream_ids::kGoodStream + 1);
+  // ccsim-analyze: stream-ok(fixture-local scratch stream; never reaches the model)
+  RandomStream c(seed, 7);
+  RandomStream moved(std::move(a));
+}

@@ -1,0 +1,14 @@
+// Fixture: stream-id registry for the rng-stream pass.
+#ifndef CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_RNG_STREAM_IDS_H_
+#define CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_RNG_STREAM_IDS_H_
+
+#include <cstdint>
+
+namespace ccsim::sim::stream_ids {
+
+/// Fixture band.
+inline constexpr std::uint64_t kGoodStream = 42;
+
+}  // namespace ccsim::sim::stream_ids
+
+#endif  // CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_RNG_STREAM_IDS_H_

@@ -1,0 +1,18 @@
+// Fixture: registry for the stream-map renderer.
+#ifndef CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_STREAMMAP_STREAM_IDS_H_
+#define CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_STREAMMAP_STREAM_IDS_H_
+
+#include <cstdint>
+
+namespace ccsim::sim::stream_ids {
+
+/// Band A: does things.
+inline constexpr std::uint64_t kAlphaStream = 100;
+
+/// Band B: other things,
+/// continued on a second line.
+inline constexpr std::uint64_t kBetaStreamBase = 200;
+
+}  // namespace ccsim::sim::stream_ids
+
+#endif  // CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_STREAMMAP_STREAM_IDS_H_

@@ -1,0 +1,16 @@
+// Fixture: determinism-taint pass, violating side.
+// Expected: determinism-taint x3 (schedule, victim-selection, stats sinks).
+#include <unordered_map>
+
+void System::Flush() {
+  std::unordered_map<int, Txn*> table;
+  for (auto& [id, txn] : table) {
+    calendar_.After(1.0, MakeEvent(txn));
+  }
+  for (auto& [id, txn] : table) {
+    if (txn->blocked) AbortTransaction(txn);
+  }
+  for (auto& [id, txn] : table) {
+    stats_.Record(id);
+  }
+}

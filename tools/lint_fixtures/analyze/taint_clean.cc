@@ -1,0 +1,16 @@
+// Fixture: determinism-taint pass, clean side. Expected: no findings.
+// Pattern 1: collect, sort, then sink over the ordered copy.
+// Pattern 2: commutative fold under a reasoned waiver.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+void System::Flush() {
+  std::unordered_map<int, Txn*> table;
+  std::vector<int> ids;
+  for (auto& [id, txn] : table) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (int id : ids) stats_.Record(id);
+  // ccsim-analyze: taint-ok(commutative sum into the digest accumulator; iteration order cancels)
+  for (auto& [id, txn] : table) total_ = MixCommutative(total_, id);
+}

@@ -37,6 +37,14 @@ if ! python3 tools/ccsim_lint.py src tests bench; then
   STATUS=1
 fi
 
+echo "== ccsim_analyze =="
+if ! python3 tools/ccsim_analyze --self-test; then
+  STATUS=1
+fi
+if ! python3 tools/ccsim_analyze; then
+  STATUS=1
+fi
+
 echo "== clang-tidy =="
 if ! command -v clang-tidy >/dev/null 2>&1; then
   echo "clang-tidy not installed; skipping (install it to run this stage)."
