@@ -19,9 +19,30 @@ struct RunResult {
   double mean_response_time = 0.0;  // origin to successful completion, sec
   double rt_ci_half_width = 0.0;    // 95% batch-means CI half width
   double max_response_time = 0.0;
-  double rt_p50 = 0.0;  // response-time percentiles (histogram estimates)
-  double rt_p90 = 0.0;
+  double rt_p50 = 0.0;  // response-time percentiles (log-bucketed histogram
+  double rt_p90 = 0.0;  // estimates, <= ~1.6% relative error)
   double rt_p99 = 0.0;
+  double rt_p999 = 0.0;
+
+  // Per-phase response-time decomposition, mean seconds per committed
+  // transaction. The four phases partition the response time exactly:
+  //   restart-wasted : origin to the start of the finally-successful
+  //                    attempt (all failed attempts + restart delays; 0 for
+  //                    first-attempt commits)
+  //   queue          : host startup queue + startup CPU of that attempt
+  //   exec           : cohorts executing (reads, writes, CC waits)
+  //   commit-wait    : the 2PC prepare/commit rounds
+  // so mean_queue + mean_exec + mean_commit_wait + mean_restart_wasted ==
+  // mean_response_time (up to FP rounding).
+  double mean_queue_time = 0.0;
+  double mean_exec_time = 0.0;
+  double mean_commit_wait_time = 0.0;
+  double mean_restart_wasted_time = 0.0;
+
+  /// Measured multiprogramming level: time-weighted mean number of
+  /// terminals with a transaction in the system (the x-axis actually
+  /// offered to the machine, vs the configured NumTerminals).
+  double mean_active_txns = 0.0;
 
   // Auxiliary metrics.
   std::uint64_t commits = 0;

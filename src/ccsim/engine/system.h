@@ -18,7 +18,7 @@
 #include "ccsim/sim/random.h"
 #include "ccsim/sim/simulation.h"
 #include "ccsim/stats/batch_means.h"
-#include "ccsim/stats/histogram.h"
+#include "ccsim/stats/latency_histogram.h"
 #include "ccsim/stats/tally.h"
 #include "ccsim/stats/time_weighted.h"
 #include "ccsim/txn/coordinator.h"
@@ -112,7 +112,12 @@ class System : public cc::CcContext {
   stats::Tally rt_alltime_;   // never reset; drives the restart delay
   stats::Tally rt_measured_;  // reset at warmup
   stats::BatchMeans rt_batches_;
-  stats::Histogram rt_histogram_;
+  stats::LatencyHistogram rt_histogram_;
+  // Per-phase response-time decomposition (see RunResult); reset at warmup.
+  stats::Tally phase_queue_;
+  stats::Tally phase_exec_;
+  stats::Tally phase_commit_wait_;
+  stats::Tally phase_restart_wasted_;
   std::uint64_t commits_measured_ = 0;
   std::uint64_t aborts_measured_ = 0;
   std::array<std::uint64_t, txn::kNumAbortReasons>

@@ -18,7 +18,7 @@ namespace ccsim::experiments {
 
 namespace {
 constexpr char kDefaultDir[] = "ccsim_bench_cache";
-constexpr int kFormatVersion = 6;  // bump when RunResult fields change
+constexpr int kFormatVersion = 7;  // bump when RunResult fields change
 
 // One serialized field of RunResult. Serialization and parsing both walk
 // this table, so the two cannot drift apart and the field count in the
@@ -87,6 +87,14 @@ constexpr Field kFields[] = {
     U("aborts_node_crash", &R::aborts_node_crash),
     U("aborts_comm_timeout", &R::aborts_comm_timeout),
     U("forced_terminations", &R::forced_terminations),
+    // v7: tail-latency metrics. Appended so that v6 entries migrate by
+    // appending defaults (see tools/migrate_cache_v6_to_v7.py).
+    D("rt_p999", &R::rt_p999),
+    D("mean_queue_time", &R::mean_queue_time),
+    D("mean_exec_time", &R::mean_exec_time),
+    D("mean_commit_wait_time", &R::mean_commit_wait_time),
+    D("mean_restart_wasted_time", &R::mean_restart_wasted_time),
+    D("mean_active_txns", &R::mean_active_txns),
 };
 constexpr std::size_t kNumFields = std::size(kFields);
 static_assert(kNumFields <= 64, "seen-field mask below is a uint64");

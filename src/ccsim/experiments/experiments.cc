@@ -86,4 +86,16 @@ config::SystemConfig FaultConfig(config::CcAlgorithm alg, double think_time,
   return cfg;
 }
 
+config::SystemConfig KneeConfig(config::CcAlgorithm alg, int num_terminals) {
+  config::SystemConfig cfg = Exp1Config(8, alg, 8.0);
+  cfg.workload.num_terminals = num_terminals;
+  return cfg;
+}
+
+std::vector<int> KneeTerminalCounts() {
+  // Doubling below the paper's 128 terminals, denser around and past it,
+  // where the lock-thrashing knee lives.
+  return {16, 32, 64, 96, 128, 192, 256, 384, 512};
+}
+
 }  // namespace ccsim::experiments

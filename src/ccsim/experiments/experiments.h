@@ -48,6 +48,16 @@ config::SystemConfig Exp3Config(int degree, double inst_per_startup,
 config::SystemConfig FaultConfig(config::CcAlgorithm alg, double think_time,
                                  double node_mttf_sec);
 
+/// Latency-knee experiment (extension, bench/fig_latency_knee): the 8-node
+/// Experiment 1 machine at the paper's 8 s think time, sweeping the number
+/// of terminals (the offered multiprogramming level) instead of think time.
+/// `num_terminals` must be a multiple of the 8 relations (terminal-group
+/// relation choice).
+config::SystemConfig KneeConfig(config::CcAlgorithm alg, int num_terminals);
+
+/// The terminal-count grid for the knee sweep (all multiples of 8).
+std::vector<int> KneeTerminalCounts();
+
 }  // namespace ccsim::experiments
 
 #endif  // CCSIM_EXPERIMENTS_EXPERIMENTS_H_

@@ -46,19 +46,18 @@ void BatchMeans::Reset() {
 }
 
 double BatchMeans::mean() const {
-  if (batch_means_.empty()) {
-    return observations_ ? running_sum_ / static_cast<double>(observations_)
-                         : 0.0;
-  }
-  double sum = 0.0;
-  for (double m : batch_means_) sum += m;
-  return sum / static_cast<double>(batch_means_.size());
+  return observations_ ? running_sum_ / static_cast<double>(observations_)
+                       : 0.0;
 }
 
 double BatchMeans::half_width_95() const {
   std::size_t n = batch_means_.size();
   if (n < 2) return 0.0;
-  double grand = mean();
+  // The CI is over completed batch means only, so its center is the grand
+  // mean of those batches - not mean(), which also sees the partial batch.
+  double grand = 0.0;
+  for (double m : batch_means_) grand += m;
+  grand /= static_cast<double>(n);
   double ss = 0.0;
   for (double m : batch_means_) ss += (m - grand) * (m - grand);
   double var = ss / static_cast<double>(n - 1);

@@ -23,12 +23,14 @@ class BatchMeans {
   std::uint64_t observations() const { return observations_; }
   std::uint64_t num_batches() const { return batch_means_.size(); }
 
-  /// Grand mean over completed batches (falls back to the running mean of all
-  /// observations if no batch completed).
+  /// Mean over *all* observations, including the in-progress partial batch.
+  /// (The CI below still uses completed batches only; discarding the partial
+  /// batch from the point estimate biased short runs.)
   double mean() const;
 
   /// Half-width of the confidence interval at ~95% confidence over batch
-  /// means. Returns 0 with fewer than two completed batches.
+  /// means (complete batches only). Returns 0 with fewer than two completed
+  /// batches.
   double half_width_95() const;
 
   /// Relative half-width (half_width / |mean|), or 0 if mean is 0.

@@ -16,6 +16,15 @@ Histogram::Histogram(double lo, double hi, std::size_t num_bins)
 }
 
 void Histogram::Record(double x) {
+  // NaN fails `x < lo_` and +inf overflows the size_t cast below — both
+  // were UB before this guard. A non-finite response time is always a
+  // simulator bug, so audit builds trap; release builds count and drop.
+  if (!std::isfinite(x)) {
+    CCSIM_DCHECK(false && "non-finite sample recorded into Histogram");
+    ++nonfinite_;
+    return;
+  }
+  if (count_ == 0 || x > max_) max_ = x;
   ++count_;
   if (x < lo_) {
     ++underflow_;
@@ -31,7 +40,8 @@ void Histogram::Record(double x) {
 
 void Histogram::Reset() {
   std::fill(bins_.begin(), bins_.end(), 0);
-  count_ = underflow_ = overflow_ = 0;
+  count_ = underflow_ = overflow_ = nonfinite_ = 0;
+  max_ = 0.0;
 }
 
 double Histogram::Quantile(double q) const {
@@ -48,7 +58,10 @@ double Histogram::Quantile(double q) const {
     }
     cum = next;
   }
-  return bin_hi(bins_.size() - 1);
+  // The quantile lands in the overflow region: the old code clamped to
+  // bin_hi(last), silently under-reporting any tail past `hi`. Report the
+  // tracked true maximum instead.
+  return max_;
 }
 
 }  // namespace ccsim::stats

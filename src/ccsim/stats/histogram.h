@@ -8,7 +8,8 @@ namespace ccsim::stats {
 
 /// Fixed-width-bin histogram over [lo, hi) with underflow/overflow buckets.
 /// Used for response-time distributions in the examples and for diagnostic
-/// output.
+/// output. For latency quantiles over a wide dynamic range prefer
+/// LatencyHistogram, whose relative error is bounded everywhere.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t num_bins);
@@ -19,12 +20,20 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   std::uint64_t underflow() const { return underflow_; }
   std::uint64_t overflow() const { return overflow_; }
+  /// Non-finite samples rejected (NaN / +-inf); never part of count().
+  std::uint64_t nonfinite() const { return nonfinite_; }
+  /// True when mass fell past `hi`: quantiles landing there report the
+  /// tracked true max instead of silently clamping to the last bin edge.
+  bool saturated() const { return overflow_ > 0; }
+  /// Largest finite sample recorded (0 when empty).
+  double max() const { return count_ ? max_ : 0.0; }
   std::size_t num_bins() const { return bins_.size(); }
   std::uint64_t bin_count(std::size_t i) const { return bins_[i]; }
   double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
   double bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
 
   /// Approximate quantile (linear interpolation within a bin); q in [0, 1].
+  /// Quantiles that land in the overflow region return max().
   double Quantile(double q) const;
 
  private:
@@ -34,6 +43,8 @@ class Histogram {
   std::uint64_t count_ = 0;
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
+  std::uint64_t nonfinite_ = 0;
+  double max_ = 0.0;
 };
 
 }  // namespace ccsim::stats

@@ -43,6 +43,7 @@ sim::Process CoordinatorService::StartAttemptProcess(TxnPtr txn,
     if (txn->IsStaleAttempt(attempt) || txn->phase() != TxnPhase::kRunning)
       co_return;
   }
+  txn->exec_start_time = s_.sim->Now();  // host startup queue/CPU is behind us
   if (txn->spec().exec_pattern == config::ExecPattern::kParallel) {
     for (int i = 0; i < txn->num_cohorts(); ++i) SendLoad(txn, i);
   } else {
@@ -77,6 +78,7 @@ void CoordinatorService::OnCohortReady(const TxnPtr& txn, int attempt,
   // All cohorts done: enter the commit protocol with a globally unique
   // certification timestamp (used by OPT).
   txn->set_phase(TxnPhase::kPreparing);
+  txn->prepare_start_time = s_.sim->Now();
   txn->set_commit_ts(Timestamp{s_.sim->Now(), txn->id()});
   SendPrepares(txn);
   ArmPhaseTimer(txn);

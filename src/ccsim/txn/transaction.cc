@@ -97,6 +97,8 @@ void Transaction::BeginAttempt(sim::SimTime attempt_time) {
   abort_acks = 0;
   phase_timer = 0;
   decision_resends = 0;
+  exec_start_time = attempt_time;
+  prepare_start_time = attempt_time;
   audit.clear();
 }
 

@@ -150,6 +150,15 @@ class Transaction {
   /// COMMIT/ABORT decision resends performed so far this attempt.
   int decision_resends = 0;
 
+  // --- per-phase latency stamps (per attempt) ----------------------------
+  /// When the attempt's cohorts started executing (after the host startup
+  /// queue/CPU on the first attempt; equals attempt_start_time on
+  /// restarts). Stamped by the coordinator just before LOADs go out.
+  sim::SimTime exec_start_time = 0.0;
+  /// When the attempt entered kPreparing (all cohorts READY); the commit
+  /// protocol (prepare votes + commit acks) runs from here to completion.
+  sim::SimTime prepare_start_time = 0.0;
+
   /// Completion handed back to the terminal; fulfilled on commit.
   std::shared_ptr<sim::Completion<sim::Unit>> done;
 

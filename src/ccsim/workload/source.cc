@@ -37,8 +37,10 @@ sim::Process Source::TerminalProcess(int terminal) {
     co_await sim_->Delay(rng.Exponential(config_->workload.think_time_sec));
     TransactionSpec spec = generator_.Generate(terminal, rng);
     ++submitted_;
+    active_txns_.Add(sim_->Now(), 1.0);
     auto done = submit_(std::move(spec));
     co_await sim::Await(std::move(done));
+    active_txns_.Add(sim_->Now(), -1.0);
   }
 }
 

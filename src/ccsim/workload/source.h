@@ -12,6 +12,7 @@
 #include "ccsim/sim/process.h"
 #include "ccsim/sim/random.h"
 #include "ccsim/sim/simulation.h"
+#include "ccsim/stats/time_weighted.h"
 #include "ccsim/workload/access_generator.h"
 #include "ccsim/workload/spec.h"
 
@@ -37,6 +38,19 @@ class Source {
 
   std::uint64_t transactions_submitted() const { return submitted_; }
 
+  /// Time-weighted mean number of terminals with a transaction in the
+  /// system (submitted, not yet committed) — the measured multiprogramming
+  /// level, as opposed to the configured NumTerminals. Purely observational:
+  /// the tracker samples sim_->Now() at submit/complete transitions that
+  /// already exist, so it schedules no events and cannot perturb
+  /// determinism.
+  double mean_active_txns(sim::SimTime now) const {
+    return active_txns_.Mean(now);
+  }
+
+  /// Warmup deletion: restart the active-txn integration at `now`.
+  void ResetStats(sim::SimTime now) { active_txns_.Reset(now); }
+
   const AccessGenerator& generator() const { return generator_; }
 
  private:
@@ -48,6 +62,7 @@ class Source {
   SubmitFn submit_;
   std::vector<std::unique_ptr<sim::RandomStream>> terminal_rngs_;
   std::uint64_t submitted_ = 0;
+  stats::TimeWeighted active_txns_;
   bool started_ = false;
 };
 

@@ -52,6 +52,12 @@ std::uint64_t Digest(const RunResult& r) {
   d.Add(r.rt_p50);
   d.Add(r.rt_p90);
   d.Add(r.rt_p99);
+  d.Add(r.rt_p999);
+  d.Add(r.mean_queue_time);
+  d.Add(r.mean_exec_time);
+  d.Add(r.mean_commit_wait_time);
+  d.Add(r.mean_restart_wasted_time);
+  d.Add(r.mean_active_txns);
   d.Add(r.commits);
   d.Add(r.aborts);
   d.Add(r.abort_ratio);
@@ -131,14 +137,14 @@ TEST(Determinism, DigestsMatchCommittedGoldens) {
     std::uint64_t digest;
   };
   constexpr Golden kGoldens[] = {
-      {config::CcAlgorithm::kNoDc, 0x131cf5af6d8847e3ull},
-      {config::CcAlgorithm::kTwoPhaseLocking, 0xab4a4c1373f3593bull},
-      {config::CcAlgorithm::kWoundWait, 0xd2eecb47bf31fd71ull},
-      {config::CcAlgorithm::kBasicTimestamp, 0xe609c76f552ff53cull},
-      {config::CcAlgorithm::kOptimistic, 0x1667e6676ba6f3d3ull},
-      {config::CcAlgorithm::kTwoPhaseLockingDeferred, 0xcd396fa03991bb2full},
-      {config::CcAlgorithm::kWaitDie, 0xf57fbe84f63e7aaaull},
-      {config::CcAlgorithm::kTwoPhaseLockingTimeout, 0xb5d680fdd5c4a4e6ull},
+      {config::CcAlgorithm::kNoDc, 0x0b757003bed4da15ull},
+      {config::CcAlgorithm::kTwoPhaseLocking, 0x7e186425e6d63502ull},
+      {config::CcAlgorithm::kWoundWait, 0x453fbb6edca17fb0ull},
+      {config::CcAlgorithm::kBasicTimestamp, 0x9108124e1d311f42ull},
+      {config::CcAlgorithm::kOptimistic, 0x97b1c3a59cf88dccull},
+      {config::CcAlgorithm::kTwoPhaseLockingDeferred, 0x83f1b54300bbcb8eull},
+      {config::CcAlgorithm::kWaitDie, 0x0603ae2ac9e2ee20ull},
+      {config::CcAlgorithm::kTwoPhaseLockingTimeout, 0xde565520f94f781full},
   };
   for (const Golden& g : kGoldens) {
     RunResult r = RunSimulation(ContendedConfig(g.alg));

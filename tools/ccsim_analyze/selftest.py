@@ -65,11 +65,23 @@ def run(root: str) -> int:
                              os.path.join(fx, "cache_bad", "cache.cc"),
                              os.path.join(fx, "cache_bad", "tools"), root),
              {"cache-schema": 6})
+    # The clean fixture's tools/ holds two scripts (v0->v1 and v1->v2):
+    # the pass checks only the latest, so the older one must not disturb a
+    # clean verdict (latest-wins).
     s.expect("cache/clean",
              rules_cache.run(os.path.join(fx, "cache_clean", "run.h"),
                              os.path.join(fx, "cache_clean", "cache.cc"),
                              os.path.join(fx, "cache_clean", "tools"), root),
              {})
+    # Lineage violation on an otherwise-consistent table: the latest script
+    # targets the current version but declares no post-migration field
+    # count (the V7-era migration contract).
+    s.expect("cache/bad-lineage",
+             rules_cache.run(os.path.join(fx, "cache_bad_lineage", "run.h"),
+                             os.path.join(fx, "cache_bad_lineage", "cache.cc"),
+                             os.path.join(fx, "cache_bad_lineage", "tools"),
+                             root),
+             {"cache-schema": 1})
 
     # --- coroutine lifetimes ----------------------------------------------
     s.expect("coro/bad",

@@ -73,8 +73,33 @@ def run_micro_benchmarks(build_dir, min_time, bench_filter):
     return rates
 
 
+def max_smoke_p99(cache_dir):
+    """Largest rt_p99 (simulated seconds) across the sweep's cache entries."""
+    worst = 0.0
+    seen = 0
+    for name in sorted(os.listdir(cache_dir)):
+        if not name.endswith(".result"):
+            continue
+        with open(os.path.join(cache_dir, name)) as f:
+            for line in f:
+                if line.startswith("rt_p99 "):
+                    worst = max(worst, float(line.split(" ", 1)[1]))
+                    seen += 1
+                    break
+    if seen == 0:
+        sys.exit("error: smoke sweep produced no rt_p99 fields")
+    return worst
+
+
 def run_cold_smoke_sweep(build_dir):
-    """Times one figure sweep with an empty result cache; rate = sweeps/sec."""
+    """Times one figure sweep with an empty result cache; rate = sweeps/sec.
+
+    Also gates a *tail* metric: the worst per-point p99 response time of the
+    sweep, stored as its reciprocal so the compare gate's drops-are-bad logic
+    fires when the tail gets worse. Unlike the wall-clock rates, the p99 is
+    simulated time - deterministic and machine-independent - so it doubles
+    as a behavior pin.
+    """
     binary = os.path.join(build_dir, "bench", SMOKE_FIGURE)
     if not os.path.exists(binary):
         sys.exit(f"error: {binary} not found (build the Release tree first)")
@@ -91,9 +116,13 @@ def run_cold_smoke_sweep(build_dir):
         subprocess.run([binary], check=True, env=env,
                        stdout=subprocess.DEVNULL)
         elapsed = time.monotonic() - start
+        worst_p99 = max_smoke_p99(env["CCSIM_CACHE_DIR"])
     if elapsed <= 0:
         sys.exit("error: smoke sweep finished suspiciously fast")
-    return {f"EngineSmokeSweep/{SMOKE_FIGURE}_cold": 1.0 / elapsed}
+    return {
+        f"EngineSmokeSweep/{SMOKE_FIGURE}_cold": 1.0 / elapsed,
+        f"EngineSmokeTail/{SMOKE_FIGURE}_rt_p99_inverse": 1.0 / worst_p99,
+    }
 
 
 def cmd_collect(args):

@@ -1,0 +1,19 @@
+// Fixture: cache-schema pass, lineage-violating side (table). The table is
+// internally consistent and matches run.h; the latest migration script
+// (tools/migrate_cache_v2_to_v3.py) targets the right version but declares
+// no post-migration field count.
+#include "run.h"
+
+namespace {
+
+using R = RunResult;
+
+constexpr int kFormatVersion = 3;
+
+constexpr FieldDef kFields[] = {
+    D("throughput", &R::throughput),
+    U("commits", &R::commits),
+    D("rt_p999", &R::rt_p999),
+};
+
+}  // namespace

@@ -1,0 +1,15 @@
+// Fixture: cache-schema pass, lineage-violating side (struct). The table
+// and struct agree; only the migration lineage is broken (tools/).
+// Expected (with cache.cc + tools/): cache-schema x1.
+#ifndef CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_CACHE_BAD_LINEAGE_RUN_H_
+#define CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_CACHE_BAD_LINEAGE_RUN_H_
+
+#include <cstdint>
+
+struct RunResult {
+  double throughput = 0.0;
+  std::uint64_t commits = 0;
+  double rt_p999 = 0.0;
+};
+
+#endif  // CCSIM_TOOLS_LINT_FIXTURES_ANALYZE_CACHE_BAD_LINEAGE_RUN_H_

@@ -1,0 +1,4 @@
+# Fixture: older script in the lineage; ignored by latest-wins (the broken
+# one is v2_to_v3).
+V1_FIELD_COUNT = 2
+V2_FIELD_COUNT = 2

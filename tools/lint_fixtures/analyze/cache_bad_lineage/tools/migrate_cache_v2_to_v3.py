@@ -1,0 +1,4 @@
+# Fixture: the latest migration script, targeting the current version (3)
+# but declaring no V3_FIELD_COUNT - the pass must flag the missing
+# post-migration field-count assertion.
+V2_FIELD_COUNT = 2

@@ -1,0 +1,5 @@
+# Fixture: an *older* migration script in the lineage. The pass checks only
+# the latest script (v1_to_v2 here), so this one's counts are irrelevant -
+# latest-wins must keep the fixture clean.
+V0_FIELD_COUNT = 1
+V1_FIELD_COUNT = 2

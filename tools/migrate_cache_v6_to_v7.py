@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Migrate ccsim result-cache entries from format v6 to v7.
+
+v7 appends the tail-latency metrics (rt_p999 and the per-phase response-time
+decomposition plus the measured multiprogramming level) to the per-point
+result files. v6 entries predate the instrumentation, so none of these were
+measured; they are filled with 0, the explicit "not measured" value (the
+engine can never report an all-zero phase breakdown for a run that committed
+anything, so 0 is unambiguous). Pre-existing fields are copied byte-for-byte
+and fingerprints are unchanged, so regenerated figure CSVs stay
+byte-identical for pre-existing columns; only the file name's version prefix
+moves.
+
+Usage: tools/migrate_cache_v6_to_v7.py [cache_dir]
+Idempotent; v6 files are removed only after their v7 twin is in place.
+"""
+
+import os
+import sys
+
+V6_FIELD_COUNT = 38
+V7_FIELD_COUNT = 44
+
+# (key, default) appended in serialization order; None = copy another field.
+NEW_FIELDS = [
+    ("rt_p999", "0"),
+    ("mean_queue_time", "0"),
+    ("mean_exec_time", "0"),
+    ("mean_commit_wait_time", "0"),
+    ("mean_restart_wasted_time", "0"),
+    ("mean_active_txns", "0"),
+]
+
+
+def migrate_file(directory, name):
+    path = os.path.join(directory, name)
+    with open(path, "r", encoding="ascii") as f:
+        lines = f.read().splitlines()
+    if not lines or lines[-1] != f"field_count {V6_FIELD_COUNT}":
+        print(f"skip (not a clean v6 entry): {name}", file=sys.stderr)
+        return False
+    fields = dict(line.split(" ", 1) for line in lines[:-1])
+    if "throughput" not in fields:
+        print(f"skip (no throughput field): {name}", file=sys.stderr)
+        return False
+    body = lines[:-1]
+    for key, default in NEW_FIELDS:
+        value = fields["throughput"] if default is None else default
+        body.append(f"{key} {value}")
+    body.append(f"field_count {V7_FIELD_COUNT}")
+
+    new_name = "v7_" + name[len("v6_"):]
+    new_path = os.path.join(directory, new_name)
+    tmp = new_path + ".tmp.migrate"
+    with open(tmp, "w", encoding="ascii") as f:
+        f.write("\n".join(body) + "\n")
+    os.replace(tmp, new_path)
+    os.remove(path)
+    return True
+
+
+def main():
+    directory = sys.argv[1] if len(sys.argv) > 1 else "ccsim_bench_cache"
+    if not os.path.isdir(directory):
+        print(f"no such directory: {directory}", file=sys.stderr)
+        return 1
+    migrated = 0
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("v6_") and name.endswith(".result"):
+            if migrate_file(directory, name):
+                migrated += 1
+    print(f"migrated {migrated} entries in {directory}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Round-trip test for tools/migrate_cache_v6_to_v7.py (tier-1).
+
+Builds a synthetic v6 cache entry, migrates it, and checks:
+  * the v7 twin appears and the v6 original is gone,
+  * pre-existing fields are byte-identical (so regenerated figure CSVs
+    cannot move for pre-existing columns),
+  * exactly the six v7 fields are appended, defaulted to 0, with the
+    field_count trailer updated,
+  * stripping the appended fields recovers the original v6 bytes exactly
+    (the migration is lossless),
+  * re-running migrates nothing (idempotent),
+  * entries that are not clean v6 files are left untouched.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+MIGRATE = os.path.join(HERE, "migrate_cache_v6_to_v7.py")
+
+# A clean v6 entry: 38 fields + trailer, values chosen to exercise integer,
+# 17-significant-digit double, and bool formatting.
+V6_FIELDS = [
+    ("throughput", "12.199999999999999"),
+    ("mean_response_time", "2.4500000000000002"),
+    ("rt_ci_half_width", "0.050000000000000003"),
+    ("max_response_time", "30.100000000000001"),
+    ("rt_p50", "1.8"),
+    ("rt_p90", "5.2000000000000002"),
+    ("rt_p99", "12"),
+    ("commits", "18300"),
+    ("aborts", "421"),
+    ("abort_ratio", "0.023"),
+    ("aborts_local_deadlock", "17"),
+    ("aborts_global_deadlock", "3"),
+    ("aborts_wound", "0"),
+    ("aborts_timestamp", "0"),
+    ("aborts_certification", "0"),
+    ("aborts_die", "0"),
+    ("aborts_timeout", "401"),
+    ("host_cpu_util", "0.77000000000000002"),
+    ("proc_cpu_util", "0.55000000000000004"),
+    ("disk_util", "0.40000000000000002"),
+    ("mean_blocking_time", "0.33000000000000002"),
+    ("blocked_waits", "9987"),
+    ("messages_per_commit", "42.5"),
+    ("transactions_submitted", "18500"),
+    ("live_at_end", "128"),
+    ("events", "12345678901234567890"),  # > 2^53: must survive as text
+    ("sim_seconds", "1800"),
+    ("wall_seconds", "12.34"),
+    ("audited", "0"),
+    ("serializable", "1"),
+    ("availability", "1"),
+    ("goodput", "12.199999999999999"),
+    ("node_crashes", "0"),
+    ("messages_dropped", "0"),
+    ("messages_lost", "0"),
+    ("aborts_node_crash", "0"),
+    ("aborts_comm_timeout", "0"),
+    ("forced_terminations", "0"),
+]
+NEW_KEYS = [
+    "rt_p999",
+    "mean_queue_time",
+    "mean_exec_time",
+    "mean_commit_wait_time",
+    "mean_restart_wasted_time",
+    "mean_active_txns",
+]
+
+
+def v6_bytes():
+    lines = [f"{k} {v}" for k, v in V6_FIELDS]
+    lines.append(f"field_count {len(V6_FIELDS)}")
+    return "\n".join(lines) + "\n"
+
+
+def run_migration(directory):
+    return subprocess.run(
+        [sys.executable, MIGRATE, directory],
+        capture_output=True, text=True, check=True)
+
+
+def main():
+    failures = []
+
+    def check(cond, what):
+        if not cond:
+            failures.append(what)
+            print(f"FAIL: {what}", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory() as d:
+        name6 = "v6_00000000deadbeef.result"
+        name7 = "v7_00000000deadbeef.result"
+        with open(os.path.join(d, name6), "w", encoding="ascii") as f:
+            f.write(v6_bytes())
+        # A file that must be left alone: wrong trailer (truncated write).
+        with open(os.path.join(d, "v6_0000000000000bad.result"), "w",
+                  encoding="ascii") as f:
+            f.write("throughput 1\nfield_count 2\n")
+
+        proc = run_migration(d)
+        check("migrated 1 entries" in proc.stdout,
+              f"expected 1 migration, got: {proc.stdout!r}")
+        check(not os.path.exists(os.path.join(d, name6)),
+              "v6 original should be removed")
+        check(os.path.exists(os.path.join(d, name7)),
+              "v7 twin should exist")
+        check(os.path.exists(os.path.join(d, "v6_0000000000000bad.result")),
+              "non-clean v6 file must be left untouched")
+
+        with open(os.path.join(d, name7), "r", encoding="ascii") as f:
+            lines = f.read().splitlines()
+        check(lines[-1] == f"field_count {len(V6_FIELDS) + len(NEW_KEYS)}",
+              f"v7 trailer wrong: {lines[-1]!r}")
+        # Pre-existing fields byte-identical, in order.
+        old_body = [f"{k} {v}" for k, v in V6_FIELDS]
+        check(lines[:len(old_body)] == old_body,
+              "pre-existing fields must be byte-identical")
+        appended = lines[len(old_body):-1]
+        check(appended == [f"{k} 0" for k in NEW_KEYS],
+              f"appended fields wrong: {appended!r}")
+        # Lossless: stripping the appended fields recovers the v6 bytes.
+        recovered = "\n".join(
+            old_body + [f"field_count {len(V6_FIELDS)}"]) + "\n"
+        check(recovered == v6_bytes(), "migration must be lossless")
+
+        # Idempotent: a second run has nothing left to do.
+        proc = run_migration(d)
+        check("migrated 0 entries" in proc.stdout,
+              f"expected idempotent re-run, got: {proc.stdout!r}")
+
+    if failures:
+        print(f"{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("ok: migrate_cache_v6_to_v7 round-trip")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
