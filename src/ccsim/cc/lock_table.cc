@@ -11,6 +11,44 @@ namespace {
 bool Conflicts(LockMode a, LockMode b) { return !Compatible(a, b); }
 }  // namespace
 
+LockTable::WaitQueue& LockTable::EnsureQueue(Entry& entry) {
+  if (!entry.queue) entry.queue = std::make_unique<WaitQueue>();
+  return *entry.queue;
+}
+
+void LockTable::PruneQueue(Entry& entry) {
+  if (entry.queue && entry.queue->empty()) entry.queue.reset();
+}
+
+LockTable::Holder* LockTable::FindHolder(Entry& entry, TxnId txn) {
+  for (Holder& h : entry.holders) {
+    if (h.id == txn) return &h;
+    if (h.id > txn) break;  // sorted
+  }
+  return nullptr;
+}
+
+const LockTable::Holder* LockTable::FindHolder(const Entry& entry, TxnId txn) {
+  return FindHolder(const_cast<Entry&>(entry), txn);
+}
+
+void LockTable::InsertHolder(Entry& entry, TxnId txn, LockMode mode,
+                             txn::TxnPtr handle) {
+  std::size_t pos = 0;
+  while (pos < entry.holders.size() && entry.holders[pos].id < txn) ++pos;
+  entry.holders.insert(pos, Holder{txn, mode, std::move(handle)});
+}
+
+void LockTable::EraseHolder(Entry& entry, TxnId txn) {
+  for (std::size_t i = 0; i < entry.holders.size(); ++i) {
+    if (entry.holders[i].id == txn) {
+      entry.holders.erase(i);
+      return;
+    }
+  }
+}
+
+// ccsim-analyze: hot-path(once per page access of every transaction)
 LockTable::RequestResult LockTable::Request(const txn::TxnPtr& txn,
                                             const PageRef& page,
                                             LockMode mode) {
@@ -21,10 +59,10 @@ LockTable::RequestResult LockTable::Request(const txn::TxnPtr& txn,
   RequestResult result;
   result.completion = sim::MakeCompletion<AccessOutcome>(sim_);
 
-  auto held = entry.holders.find(id);
+  Holder* held = FindHolder(entry, id);
   bool is_upgrade = false;
-  if (held != entry.holders.end()) {
-    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+  if (held != nullptr) {
+    if (held->mode == LockMode::kExclusive || mode == LockMode::kShared) {
       // Re-request of an already-covered mode: trivially granted.
       result.granted_immediately = true;
       result.completion->Complete(AccessOutcome::kGranted);
@@ -33,28 +71,27 @@ LockTable::RequestResult LockTable::Request(const txn::TxnPtr& txn,
     is_upgrade = true;  // holds kShared, wants kExclusive
     if (entry.holders.size() == 1) {
       // Sole holder: convert in place.
-      held->second = LockMode::kExclusive;
+      held->mode = LockMode::kExclusive;
       result.granted_immediately = true;
       result.completion->Complete(AccessOutcome::kGranted);
       return result;
     }
-  } else if (entry.queue.empty() || allow_queue_jump_) {
+  } else if (QueueSize(entry) == 0 || allow_queue_jump_) {
     bool compatible = true;
-    for (const auto& [hid, hmode] : entry.holders) {
-      if (Conflicts(hmode, mode)) {
+    for (const Holder& h : entry.holders) {
+      if (Conflicts(h.mode, mode)) {
         compatible = false;
         break;
       }
     }
     if (compatible && allow_queue_jump_ && entry.holders.empty() &&
-        !entry.queue.empty()) {
+        QueueSize(entry) != 0) {
       // Nothing is held but waiters are pending (all blocked on each other
       // via queue order after a release): do not overtake them.
       compatible = false;
     }
     if (compatible) {
-      entry.holders.emplace(id, mode);
-      entry.holder_refs.emplace(id, txn);
+      InsertHolder(entry, id, mode, txn);
       txn_keys_[id].push_back(key);
       result.granted_immediately = true;
       result.completion->Complete(AccessOutcome::kGranted);
@@ -62,26 +99,26 @@ LockTable::RequestResult LockTable::Request(const txn::TxnPtr& txn,
     }
   }
 
-  // Must wait. Collect blockers: incompatible holders (self excluded) and
-  // conflicting requests queued ahead.
-  for (const auto& [hid, hmode] : entry.holders) {
-    if (hid == id) continue;
-    if (is_upgrade || Conflicts(hmode, mode)) {
-      result.blockers.push_back(entry.holder_refs.at(hid));
+  // Must wait. Collect blockers: incompatible holders (self excluded, TxnId
+  // ascending) and conflicting requests queued ahead.
+  for (const Holder& h : entry.holders) {
+    if (h.id == id) continue;
+    if (is_upgrade || Conflicts(h.mode, mode)) {
+      result.blockers.push_back(h.txn);
     }
   }
 
   // Upgrades wait at the front, after any upgrades already queued.
-  std::size_t insert_pos = entry.queue.size();
+  WaitQueue& queue = EnsureQueue(entry);
+  std::size_t insert_pos = queue.size();
   if (is_upgrade) {
     insert_pos = 0;
-    while (insert_pos < entry.queue.size() &&
-           entry.queue[insert_pos].is_upgrade) {
+    while (insert_pos < queue.size() && queue[insert_pos].is_upgrade) {
       ++insert_pos;
     }
   }
   for (std::size_t i = 0; i < insert_pos; ++i) {
-    const Waiter& ahead = entry.queue[i];
+    const Waiter& ahead = queue[i];
     CCSIM_CHECK_MSG(ahead.txn->id() != id,
                     "transaction enqueued twice on one lock");
     if (Conflicts(ahead.mode, mode) || ahead.mode == LockMode::kExclusive ||
@@ -90,10 +127,8 @@ LockTable::RequestResult LockTable::Request(const txn::TxnPtr& txn,
     }
   }
 
-  Waiter waiter{txn, mode, is_upgrade, result.completion, sim_->Now()};
-  entry.queue.insert(entry.queue.begin() +
-                         static_cast<std::ptrdiff_t>(insert_pos),
-                     std::move(waiter));
+  queue.insert(insert_pos, Waiter{txn, mode, is_upgrade, result.completion,
+                               sim_->Now()});
   ++waiting_count_;
   txn_keys_[id].push_back(key);
   AuditInvariants();
@@ -101,40 +136,38 @@ LockTable::RequestResult LockTable::Request(const txn::TxnPtr& txn,
 }
 
 bool LockTable::CanGrant(const Entry& entry, TxnId txn, LockMode mode) const {
-  for (const auto& [hid, hmode] : entry.holders) {
-    if (hid == txn) continue;  // upgrade: ignore own shared hold
-    if (Conflicts(hmode, mode)) return false;
+  for (const Holder& h : entry.holders) {
+    if (h.id == txn) continue;  // upgrade: ignore own shared hold
+    if (Conflicts(h.mode, mode)) return false;
   }
   return true;
 }
 
+// ccsim-analyze: hot-path(runs on every release of a contended page)
 void LockTable::PumpQueue(std::uint64_t key) {
-  auto eit = entries_.find(key);
-  if (eit == entries_.end()) return;
-  Entry& entry = eit->second;
+  Entry* entry = entries_.Find(key);
+  if (entry == nullptr) return;
   // Strict FIFO: grant only the compatible prefix of the queue. With queue
   // jumping: grant every waiter compatible with the current holders (the
   // "maximum concurrency" policy; readers can overtake queued writers).
   std::size_t scan = 0;
-  while (scan < entry.queue.size()) {
-    Waiter& w = entry.queue[scan];
-    if (!CanGrant(entry, w.txn->id(), w.mode)) {
+  while (scan < QueueSize(*entry)) {
+    Waiter& w = (*entry->queue)[scan];
+    if (!CanGrant(*entry, w.txn->id(), w.mode)) {
       if (!allow_queue_jump_) break;
       ++scan;
       continue;
     }
     Waiter granted = std::move(w);
-    entry.queue.erase(entry.queue.begin() +
-                      static_cast<std::ptrdiff_t>(scan));
+    entry->queue->erase(scan);
     --waiting_count_;
     TxnId id = granted.txn->id();
-    auto hit = entry.holders.find(id);
-    if (hit != entry.holders.end()) {
+    Holder* held = FindHolder(*entry, id);
+    if (held != nullptr) {
       CCSIM_CHECK(granted.is_upgrade);
-      hit->second = LockMode::kExclusive;
+      held->mode = LockMode::kExclusive;
     } else {
-      entry.holders.emplace(id, granted.mode);
-      entry.holder_refs.emplace(id, granted.txn);
+      InsertHolder(*entry, id, granted.mode, granted.txn);
       // Waiting already registered this key in txn_keys_.
     }
     wait_times_.Record(sim_->Now() - granted.since);
@@ -145,62 +178,62 @@ void LockTable::PumpQueue(std::uint64_t key) {
     }
     granted.completion->Complete(AccessOutcome::kGranted);
   }
-  if (entry.holders.empty() && entry.queue.empty()) entries_.erase(eit);
+  PruneQueue(*entry);
+  if (entry->holders.empty() && !entry->queue) entries_.Erase(key);
 }
 
+// ccsim-analyze: hot-path(once per commit/abort, over every held lock)
 void LockTable::ReleaseAll(TxnId txn, bool abort_waiters) {
-  auto kit = txn_keys_.find(txn);
-  if (kit == txn_keys_.end()) return;
-  std::vector<std::uint64_t> keys = std::move(kit->second);
-  txn_keys_.erase(kit);
+  KeyList* kit = txn_keys_.Find(txn);
+  if (kit == nullptr) return;
+  KeyList keys = std::move(*kit);
+  txn_keys_.Erase(txn);
   // De-duplicate (a txn can both hold and wait-upgrade on one key).
   std::sort(keys.begin(), keys.end());
-  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  keys.truncate(static_cast<std::size_t>(
+      std::unique(keys.begin(), keys.end()) - keys.begin()));
 
   for (std::uint64_t key : keys) {
-    auto eit = entries_.find(key);
-    if (eit == entries_.end()) continue;
-    Entry& entry = eit->second;
-    entry.holders.erase(txn);
-    entry.holder_refs.erase(txn);
-    for (auto qit = entry.queue.begin(); qit != entry.queue.end();) {
-      if (qit->txn->id() == txn) {
+    Entry* entry = entries_.Find(key);
+    if (entry == nullptr) continue;
+    EraseHolder(*entry, txn);
+    for (std::size_t i = 0; i < QueueSize(*entry);) {
+      if ((*entry->queue)[i].txn->id() == txn) {
         CCSIM_CHECK_MSG(abort_waiters,
                         "commit released a lock with a pending request");
         --waiting_count_;
-        qit->completion->Complete(AccessOutcome::kAborted);
-        qit = entry.queue.erase(qit);
+        (*entry->queue)[i].completion->Complete(AccessOutcome::kAborted);
+        entry->queue->erase(i);
       } else {
-        ++qit;
+        ++i;
       }
     }
+    PruneQueue(*entry);
     PumpQueue(key);
-    // PumpQueue may have erased the entry already; re-check and erase if
+    // PumpQueue may have erased the entry already; re-find and erase if
     // empty.
-    eit = entries_.find(key);
-    if (eit != entries_.end() && eit->second.holders.empty() &&
-        eit->second.queue.empty()) {
-      entries_.erase(eit);
+    entry = entries_.Find(key);
+    if (entry != nullptr && entry->holders.empty() && !entry->queue) {
+      entries_.Erase(key);
     }
   }
   AuditInvariants();
 }
 
 bool LockTable::CancelRequest(TxnId txn, const PageRef& page) {
-  auto eit = entries_.find(page.Key());
-  if (eit == entries_.end()) return false;
-  Entry& entry = eit->second;
-  for (auto qit = entry.queue.begin(); qit != entry.queue.end(); ++qit) {
-    if (qit->txn->id() != txn) continue;
-    auto completion = qit->completion;
-    entry.queue.erase(qit);
+  Entry* entry = entries_.Find(page.Key());
+  if (entry == nullptr) return false;
+  for (std::size_t i = 0; i < QueueSize(*entry); ++i) {
+    if ((*entry->queue)[i].txn->id() != txn) continue;
+    auto completion = (*entry->queue)[i].completion;
+    entry->queue->erase(i);
+    PruneQueue(*entry);
     --waiting_count_;
     completion->Complete(AccessOutcome::kAborted);
     PumpQueue(page.Key());
-    eit = entries_.find(page.Key());
-    if (eit != entries_.end() && eit->second.holders.empty() &&
-        eit->second.queue.empty()) {
-      entries_.erase(eit);
+    entry = entries_.Find(page.Key());
+    if (entry != nullptr && entry->holders.empty() && !entry->queue) {
+      entries_.Erase(page.Key());
     }
     AuditInvariants();
     return true;
@@ -210,28 +243,30 @@ bool LockTable::CancelRequest(TxnId txn, const PageRef& page) {
 
 std::vector<WaitEdge> LockTable::WaitsForEdges() const {
   std::vector<WaitEdge> edges;
-  // entries_ is an unordered_map, and the order edges are emitted decides
-  // the DFS order (and thus the cycle found first, and thus the deadlock
-  // victim) in the WaitsForGraph built from them. Walk keys in sorted order
-  // so the edge list is identical across runs and stdlib versions.
+  // The order edges are emitted decides the DFS order (and thus the cycle
+  // found first, and thus the deadlock victim) in the WaitsForGraph built
+  // from them. entries_ iterates in hash-table order, so walk keys in
+  // sorted order instead: the edge list is identical across runs and
+  // stdlib versions.
   std::vector<std::uint64_t> keys;
   keys.reserve(entries_.size());
-  // ccsim-lint: unordered-iter-ok(keys are sorted before use below)
-  for (const auto& [key, entry] : entries_) keys.push_back(key);
+  // ccsim-lint: unordered-iter-ok(collects keys only; sorted before use)
+  entries_.ForEach(
+      [&keys](std::uint64_t key, const Entry&) { keys.push_back(key); });
   std::sort(keys.begin(), keys.end());
   for (std::uint64_t key : keys) {
-    const Entry& entry = entries_.at(key);
-    for (std::size_t i = 0; i < entry.queue.size(); ++i) {
-      const Waiter& w = entry.queue[i];
-      for (const auto& [hid, hmode] : entry.holders) {
-        if (hid == w.txn->id()) continue;
-        if (w.is_upgrade || Conflicts(hmode, w.mode)) {
-          edges.push_back(WaitEdge{w.txn->id(), w.txn->initial_ts(), hid,
-                                   entry.holder_refs.at(hid)->initial_ts()});
+    const Entry& entry = *entries_.Find(key);
+    for (std::size_t i = 0; i < QueueSize(entry); ++i) {
+      const Waiter& w = (*entry.queue)[i];
+      for (const Holder& h : entry.holders) {
+        if (h.id == w.txn->id()) continue;
+        if (w.is_upgrade || Conflicts(h.mode, w.mode)) {
+          edges.push_back(WaitEdge{w.txn->id(), w.txn->initial_ts(), h.id,
+                                   h.txn->initial_ts()});
         }
       }
       for (std::size_t j = 0; j < i; ++j) {
-        const Waiter& ahead = entry.queue[j];
+        const Waiter& ahead = (*entry.queue)[j];
         if (ahead.mode == LockMode::kExclusive ||
             w.mode == LockMode::kExclusive) {
           edges.push_back(WaitEdge{w.txn->id(), w.txn->initial_ts(),
@@ -244,12 +279,12 @@ std::vector<WaitEdge> LockTable::WaitsForEdges() const {
 }
 
 bool LockTable::IsWaiting(TxnId txn) const {
-  auto kit = txn_keys_.find(txn);
-  if (kit == txn_keys_.end()) return false;
-  for (std::uint64_t key : kit->second) {
-    auto eit = entries_.find(key);
-    if (eit == entries_.end()) continue;
-    for (const Waiter& w : eit->second.queue) {
+  const KeyList* kit = txn_keys_.Find(txn);
+  if (kit == nullptr) return false;
+  for (std::uint64_t key : *kit) {
+    const Entry* entry = entries_.Find(key);
+    if (entry == nullptr || !entry->queue) continue;
+    for (const Waiter& w : *entry->queue) {
       if (w.txn->id() == txn) return true;
     }
   }
@@ -257,62 +292,66 @@ bool LockTable::IsWaiting(TxnId txn) const {
 }
 
 bool LockTable::HoldsLock(TxnId txn, const PageRef& page) const {
-  auto eit = entries_.find(page.Key());
-  if (eit == entries_.end()) return false;
-  return eit->second.holders.count(txn) > 0;
+  const Entry* entry = entries_.Find(page.Key());
+  if (entry == nullptr) return false;
+  return FindHolder(*entry, txn) != nullptr;
 }
 
 void LockTable::AuditInvariants() const {
   if (!sim::kAuditEnabled) return;
   std::size_t queued = 0;
-  // ccsim-lint: unordered-iter-ok(audit sweep; per-entry checks are independent)
-  for (const auto& [key, entry] : entries_) {
-    CCSIM_DCHECK_MSG(!entry.holders.empty() || !entry.queue.empty(),
+  // Audit sweep in table order; per-entry checks are independent.
+  // ccsim-lint: unordered-iter-ok(pass/fail audit; order-independent checks)
+  entries_.ForEach([&](std::uint64_t key, const Entry& entry) {
+    CCSIM_DCHECK_MSG(!entry.holders.empty() || QueueSize(entry) != 0,
                      "empty lock entry not erased");
-    CCSIM_DCHECK_MSG(entry.holders.size() == entry.holder_refs.size(),
-                     "holder_refs out of sync with holders");
+    CCSIM_DCHECK_MSG(!entry.queue || !entry.queue->empty(),
+                     "empty wait queue not pruned");
     bool any_exclusive = false;
-    for (const auto& [hid, hmode] : entry.holders) {
-      CCSIM_DCHECK_MSG(entry.holder_refs.count(hid) == 1,
+    for (std::size_t i = 0; i < entry.holders.size(); ++i) {
+      const Holder& h = entry.holders[i];
+      CCSIM_DCHECK_MSG(h.txn != nullptr,
                        "holder without a live transaction handle");
-      if (hmode == LockMode::kExclusive) any_exclusive = true;
-      auto kit = txn_keys_.find(hid);
-      CCSIM_DCHECK_MSG(kit != txn_keys_.end() &&
-                           std::find(kit->second.begin(), kit->second.end(),
-                                     key) != kit->second.end(),
-                       "holder not registered in txn_keys_");
+      CCSIM_DCHECK_MSG(i == 0 || entry.holders[i - 1].id < h.id,
+                       "holders not sorted by TxnId");
+      if (h.mode == LockMode::kExclusive) any_exclusive = true;
+      const KeyList* kit = txn_keys_.Find(h.id);
+      CCSIM_DCHECK_MSG(
+          kit != nullptr &&
+              std::find(kit->begin(), kit->end(), key) != kit->end(),
+          "holder not registered in txn_keys_");
     }
     CCSIM_DCHECK_MSG(!any_exclusive || entry.holders.size() == 1,
                      "exclusive lock shared with another holder");
 
-    queued += entry.queue.size();
+    queued += QueueSize(entry);
     bool past_upgrade_prefix = false;
-    for (std::size_t i = 0; i < entry.queue.size(); ++i) {
-      const Waiter& w = entry.queue[i];
+    for (std::size_t i = 0; i < QueueSize(entry); ++i) {
+      const Waiter& w = (*entry.queue)[i];
       TxnId id = w.txn->id();
       if (!w.is_upgrade) {
         past_upgrade_prefix = true;
       } else {
         CCSIM_DCHECK_MSG(!past_upgrade_prefix,
                          "upgrade queued behind a non-upgrade waiter");
-        CCSIM_DCHECK_MSG(entry.holders.count(id) == 1,
+        CCSIM_DCHECK_MSG(FindHolder(entry, id) != nullptr,
                          "queued upgrade whose shared hold vanished");
       }
       // "No granted/waiting overlap": only an upgrade may appear on both
       // sides of one entry.
-      CCSIM_DCHECK_MSG(w.is_upgrade || entry.holders.count(id) == 0,
+      CCSIM_DCHECK_MSG(w.is_upgrade || FindHolder(entry, id) == nullptr,
                        "transaction both holds and waits on one page");
-      for (std::size_t j = i + 1; j < entry.queue.size(); ++j) {
-        CCSIM_DCHECK_MSG(entry.queue[j].txn->id() != id,
+      for (std::size_t j = i + 1; j < QueueSize(entry); ++j) {
+        CCSIM_DCHECK_MSG((*entry.queue)[j].txn->id() != id,
                          "transaction queued twice on one lock");
       }
-      auto kit = txn_keys_.find(id);
-      CCSIM_DCHECK_MSG(kit != txn_keys_.end() &&
-                           std::find(kit->second.begin(), kit->second.end(),
-                                     key) != kit->second.end(),
-                       "waiter not registered in txn_keys_");
+      const KeyList* kit = txn_keys_.Find(id);
+      CCSIM_DCHECK_MSG(
+          kit != nullptr &&
+              std::find(kit->begin(), kit->end(), key) != kit->end(),
+          "waiter not registered in txn_keys_");
     }
-  }
+  });
   CCSIM_DCHECK_MSG(queued == waiting_count_,
                    "waiting_count_ out of sync with lock queues");
 }

@@ -32,6 +32,9 @@ class Snoop {
   std::uint64_t detection_rounds() const { return rounds_; }
   std::uint64_t victims_aborted() const { return victims_; }
 
+  /// Detector process frames live in the simulation's arena (process.h).
+  sim::Arena* process_arena() { return ctx_->simulation().arena(); }
+
  private:
   sim::Process Run();
   TwoPhaseLockingManager* manager(NodeId proc_node) const {

@@ -36,6 +36,9 @@ class TwoPhaseLockingDeferredManager : public TwoPhaseLockingManager {
 
   std::uint64_t upgrade_waits() const { return upgrade_waits_; }
 
+  /// Upgrade-wait process frames live in the simulation's arena (process.h).
+  sim::Arena* process_arena() { return ctx_->simulation().arena(); }
+
  private:
   sim::Process AwaitUpgrades(
       txn::TxnPtr txn,

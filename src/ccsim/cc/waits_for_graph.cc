@@ -1,20 +1,38 @@
 #include "ccsim/cc/waits_for_graph.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "ccsim/sim/check.h"
 
 namespace ccsim::cc {
 
+std::size_t WaitsForGraph::FindIndex(TxnId id) const {
+  auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), id,
+      [](const Node& n, TxnId target) { return n.id < target; });
+  if (it == nodes_.end() || it->id != id) return nodes_.size();
+  return static_cast<std::size_t>(it - nodes_.begin());
+}
+
+std::size_t WaitsForGraph::EnsureNode(TxnId id, Timestamp ts) {
+  auto it = std::lower_bound(
+      nodes_.begin(), nodes_.end(), id,
+      [](const Node& n, TxnId target) { return n.id < target; });
+  if (it == nodes_.end() || it->id != id) {
+    // Keep the first timestamp seen for each transaction (they should all
+    // agree; edges from different nodes carry the same initial_ts).
+    it = nodes_.insert(it, Node{id, ts, {}});
+  }
+  return static_cast<std::size_t>(it - nodes_.begin());
+}
+
 void WaitsForGraph::AddEdge(const WaitEdge& edge) {
   if (edge.waiter == edge.holder) return;  // self-waits are impossible; guard
-  adjacency_[edge.waiter].push_back(edge.holder);
-  adjacency_.try_emplace(edge.holder);
-  // Keep the earliest timestamp seen for each transaction (they should all
-  // agree; edges from different nodes carry the same initial_ts).
-  timestamps_.try_emplace(edge.waiter, edge.waiter_ts);
-  timestamps_.try_emplace(edge.holder, edge.holder_ts);
+  EnsureNode(edge.holder, edge.holder_ts);
+  // Re-find after the holder insert: it may have shifted the waiter's slot.
+  std::size_t w = EnsureNode(edge.waiter, edge.waiter_ts);
+  nodes_[w].out.push_back(edge.holder);
 }
 
 void WaitsForGraph::AddEdges(const std::vector<WaitEdge>& edges) {
@@ -23,43 +41,45 @@ void WaitsForGraph::AddEdges(const std::vector<WaitEdge>& edges) {
 
 std::size_t WaitsForGraph::num_edges() const {
   std::size_t n = 0;
-  for (const auto& [id, outs] : adjacency_) n += outs.size();
+  for (const Node& node : nodes_) n += node.out.size();
   return n;
 }
 
 std::vector<TxnId> WaitsForGraph::FindCycleFrom(TxnId start) const {
-  if (adjacency_.find(start) == adjacency_.end()) return {};
+  std::size_t start_idx = FindIndex(start);
+  if (start_idx == nodes_.size()) return {};
   // Iterative DFS tracking the current path; a back-edge onto the path
   // yields the cycle members.
-  std::unordered_map<TxnId, int> state;  // 0 unvisited, 1 on path, 2 done
-  std::vector<std::pair<TxnId, std::size_t>> stack;  // (node, next edge idx)
+  std::vector<signed char> state(nodes_.size(), 0);  // 0 new, 1 on path,
+                                                     // 2 done
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // (node, edge idx)
   std::vector<TxnId> path;
 
-  stack.emplace_back(start, 0);
-  state[start] = 1;
+  stack.emplace_back(start_idx, 0);
+  state[start_idx] = 1;
   path.push_back(start);
 
   while (!stack.empty()) {
     auto& [node, idx] = stack.back();
-    auto ait = adjacency_.find(node);
-    const std::vector<TxnId>* outs = ait != adjacency_.end() ? &ait->second : nullptr;
-    if (outs == nullptr || idx >= outs->size()) {
+    const auto& outs = nodes_[node].out;
+    if (idx >= outs.size()) {
       state[node] = 2;
       stack.pop_back();
       path.pop_back();
       continue;
     }
-    TxnId next = (*outs)[idx++];
-    int s = state.count(next) ? state[next] : 0;
-    if (s == 1) {
+    TxnId next = outs[idx++];
+    std::size_t next_idx = FindIndex(next);
+    CCSIM_CHECK(next_idx < nodes_.size());  // AddEdge creates both endpoints
+    if (state[next_idx] == 1) {
       // Found a cycle: members are the path suffix from `next`.
       auto pit = std::find(path.begin(), path.end(), next);
       CCSIM_CHECK(pit != path.end());
       return std::vector<TxnId>(pit, path.end());
     }
-    if (s == 0) {
-      state[next] = 1;
-      stack.emplace_back(next, 0);
+    if (state[next_idx] == 0) {
+      state[next_idx] = 1;
+      stack.emplace_back(next_idx, 0);
       path.push_back(next);
     }
   }
@@ -67,8 +87,8 @@ std::vector<TxnId> WaitsForGraph::FindCycleFrom(TxnId start) const {
 }
 
 std::vector<TxnId> WaitsForGraph::FindAnyCycle() const {
-  for (const auto& [id, outs] : adjacency_) {
-    auto cycle = FindCycleFrom(id);
+  for (const Node& node : nodes_) {
+    auto cycle = FindCycleFrom(node.id);
     if (!cycle.empty()) return cycle;
   }
   return {};
@@ -77,9 +97,13 @@ std::vector<TxnId> WaitsForGraph::FindAnyCycle() const {
 TxnId WaitsForGraph::YoungestOf(const std::vector<TxnId>& cycle) const {
   CCSIM_CHECK(!cycle.empty());
   TxnId youngest = cycle.front();
-  Timestamp best = timestamps_.at(youngest);
+  std::size_t yidx = FindIndex(youngest);
+  CCSIM_CHECK(yidx < nodes_.size());
+  Timestamp best = nodes_[yidx].ts;
   for (TxnId id : cycle) {
-    Timestamp ts = timestamps_.at(id);
+    std::size_t idx = FindIndex(id);
+    CCSIM_CHECK(idx < nodes_.size());
+    Timestamp ts = nodes_[idx].ts;
     if (best < ts) {  // larger timestamp = more recent startup = younger
       best = ts;
       youngest = id;
@@ -89,9 +113,18 @@ TxnId WaitsForGraph::YoungestOf(const std::vector<TxnId>& cycle) const {
 }
 
 void WaitsForGraph::RemoveNode(TxnId id) {
-  adjacency_.erase(id);
-  for (auto& [node, outs] : adjacency_) {
-    outs.erase(std::remove(outs.begin(), outs.end(), id), outs.end());
+  std::size_t idx = FindIndex(id);
+  if (idx < nodes_.size()) {
+    nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  for (Node& node : nodes_) {
+    for (std::size_t i = 0; i < node.out.size();) {
+      if (node.out[i] == id) {
+        node.out.erase(i);
+      } else {
+        ++i;
+      }
+    }
   }
 }
 
@@ -110,15 +143,14 @@ std::vector<TxnId> WaitsForGraph::ResolveAllDeadlocks() {
 
 void WaitsForGraph::AuditInvariants() const {
   if (!sim::kAuditEnabled) return;
-  for (const auto& [node, outs] : adjacency_) {
-    CCSIM_DCHECK_MSG(timestamps_.count(node) == 1,
-                     "graph node without a timestamp");
-    for (TxnId out : outs) {
-      CCSIM_DCHECK_MSG(out != node, "self-wait edge in waits-for graph");
-      CCSIM_DCHECK_MSG(adjacency_.count(out) == 1,
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    CCSIM_DCHECK_MSG(i == 0 || nodes_[i - 1].id < node.id,
+                     "graph nodes not sorted by TxnId");
+    for (TxnId out : node.out) {
+      CCSIM_DCHECK_MSG(out != node.id, "self-wait edge in waits-for graph");
+      CCSIM_DCHECK_MSG(FindIndex(out) < nodes_.size(),
                        "edge target missing from adjacency");
-      CCSIM_DCHECK_MSG(timestamps_.count(out) == 1,
-                       "edge target without a timestamp");
     }
   }
 }

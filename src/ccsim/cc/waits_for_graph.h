@@ -1,10 +1,10 @@
 #ifndef CCSIM_CC_WAITS_FOR_GRAPH_H_
 #define CCSIM_CC_WAITS_FOR_GRAPH_H_
 
-#include <map>
 #include <vector>
 
 #include "ccsim/cc/cc_manager.h"
+#include "ccsim/common/small_vec.h"
 #include "ccsim/common/types.h"
 
 namespace ccsim::cc {
@@ -21,7 +21,7 @@ class WaitsForGraph {
   void AddEdges(const std::vector<WaitEdge>& edges);
   void AddEdge(const WaitEdge& edge);
 
-  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_nodes() const { return nodes_.size(); }
   std::size_t num_edges() const;
 
   /// Finds a cycle reachable from `start`, if any, and returns its members
@@ -37,20 +37,35 @@ class WaitsForGraph {
   TxnId YoungestOf(const std::vector<TxnId>& cycle) const;
 
  private:
+  // One graph node; out-edges keep insertion order (it decides DFS order).
+  // A graph is built afresh per detection round, so node storage is a flat
+  // sorted vector with inline out-edge lists: building and dropping one
+  // allocates almost nothing, where the former std::map burned one heap
+  // node per transaction per round (DESIGN.md decision #12). The vector is
+  // kept sorted by TxnId, so FindAnyCycle() scans nodes in TxnId order -
+  // the cycle found first, and with it the deadlock victim, is identical
+  // across runs and stdlib versions, exactly as with the ordered map it
+  // replaces.
+  struct Node {
+    TxnId id;
+    Timestamp ts;
+    common::SmallVec<TxnId, 4> out;
+  };
+
+  /// Index of `id` in nodes_, or nodes_.size() if absent.
+  std::size_t FindIndex(TxnId id) const;
+  /// Index of `id`, inserting a fresh node (sorted position) if absent.
+  std::size_t EnsureNode(TxnId id, Timestamp ts);
+
   std::vector<TxnId> FindAnyCycle() const;
   void RemoveNode(TxnId id);
 
-  /// Audit-mode consistency sweep: every edge endpoint has an adjacency
-  /// node and a timestamp, and no node waits for itself. No-op unless built
+  /// Audit-mode consistency sweep: nodes are sorted by TxnId, every edge
+  /// target has a node, and no node waits for itself. No-op unless built
   /// with CCSIM_AUDIT.
   void AuditInvariants() const;
 
-  // Ordered maps: FindAnyCycle() scans nodes in TxnId order, so the cycle
-  // found first - and with it the deadlock victim - is identical across
-  // runs and stdlib versions (bit-reproducibility under common random
-  // numbers; an unordered_map here made victim choice hash-order dependent).
-  std::map<TxnId, std::vector<TxnId>> adjacency_;
-  std::map<TxnId, Timestamp> timestamps_;
+  std::vector<Node> nodes_;  // sorted by id
 };
 
 }  // namespace ccsim::cc

@@ -11,6 +11,23 @@ Catalog::Catalog(const config::DatabaseParams& db,
                  std::vector<NodeId> file_to_node)
     : db_(db), file_to_node_(std::move(file_to_node)) {
   CCSIM_CHECK(static_cast<int>(file_to_node_.size()) == db_.num_files());
+  layouts_.resize(static_cast<std::size_t>(db_.num_relations));
+  for (int r = 0; r < db_.num_relations; ++r) {
+    RelationLayout& layout = layouts_[static_cast<std::size_t>(r)];
+    layout.files.reserve(static_cast<std::size_t>(db_.partitions_per_relation));
+    for (int j = 0; j < db_.partitions_per_relation; ++j) {
+      layout.files.push_back(FileOf(r, j));
+    }
+    layout.nodes = db::NodesOfRelation(file_to_node_, db_, r);
+    layout.files_by_node.resize(layout.nodes.size());
+    for (std::size_t i = 0; i < layout.nodes.size(); ++i) {
+      for (FileId f : layout.files) {
+        if (NodeOfFile(f) == layout.nodes[i]) {
+          layout.files_by_node[i].push_back(f);
+        }
+      }
+    }
+  }
 }
 
 NodeId Catalog::NodeOfFile(FileId f) const {
@@ -29,17 +46,24 @@ FileId Catalog::FileOf(int relation, int partition) const {
   return relation * db_.partitions_per_relation + partition;
 }
 
-std::vector<FileId> Catalog::FilesOfRelation(int r) const {
+const Catalog::RelationLayout& Catalog::LayoutOf(int r) const {
   CCSIM_CHECK(r >= 0 && r < db_.num_relations);
-  std::vector<FileId> files;
-  files.reserve(static_cast<std::size_t>(db_.partitions_per_relation));
-  for (int j = 0; j < db_.partitions_per_relation; ++j)
-    files.push_back(FileOf(r, j));
-  return files;
+  return layouts_[static_cast<std::size_t>(r)];
 }
 
-std::vector<NodeId> Catalog::NodesOfRelation(int r) const {
-  return db::NodesOfRelation(file_to_node_, db_, r);
+const std::vector<FileId>& Catalog::FilesOfRelation(int r) const {
+  return LayoutOf(r).files;
+}
+
+const std::vector<NodeId>& Catalog::NodesOfRelation(int r) const {
+  return LayoutOf(r).nodes;
+}
+
+const std::vector<FileId>& Catalog::FilesOfRelationAt(
+    int r, std::size_t node_index) const {
+  const RelationLayout& layout = LayoutOf(r);
+  CCSIM_CHECK(node_index < layout.files_by_node.size());
+  return layout.files_by_node[node_index];
 }
 
 }  // namespace ccsim::db

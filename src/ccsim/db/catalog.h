@@ -11,6 +11,12 @@ namespace ccsim::db {
 /// The database catalog: the set of files (relation partitions), their sizes
 /// in pages, and the FileLocations mapping of files to processing nodes
 /// (Table 1). Immutable once built.
+///
+/// Per-relation layouts (files, nodes, files-per-node) are precomputed at
+/// construction and returned by reference: the access generator walks them
+/// once per transaction, and recomputing them allocated O(degree^2) vectors
+/// per generated transaction (a measurable slice of the megascale memory
+/// churn, DESIGN.md decision #12).
 class Catalog {
  public:
   Catalog(const config::DatabaseParams& db, std::vector<NodeId> file_to_node);
@@ -27,16 +33,31 @@ class Catalog {
   FileId FileOf(int relation, int partition) const;
 
   /// All files of a relation, in partition order.
-  std::vector<FileId> FilesOfRelation(int r) const;
+  const std::vector<FileId>& FilesOfRelation(int r) const;
 
   /// Distinct nodes holding relation `r`'s partitions, ascending.
-  std::vector<NodeId> NodesOfRelation(int r) const;
+  const std::vector<NodeId>& NodesOfRelation(int r) const;
+
+  /// Files of relation `r` placed at NodesOfRelation(r)[node_index], in
+  /// partition order.
+  const std::vector<FileId>& FilesOfRelationAt(int r,
+                                               std::size_t node_index) const;
 
   const std::vector<NodeId>& file_to_node() const { return file_to_node_; }
 
  private:
+  struct RelationLayout {
+    std::vector<FileId> files;  // partition order
+    std::vector<NodeId> nodes;  // distinct, ascending
+    // files_by_node[i]: files at nodes[i], partition order.
+    std::vector<std::vector<FileId>> files_by_node;
+  };
+
+  const RelationLayout& LayoutOf(int r) const;
+
   config::DatabaseParams db_;
   std::vector<NodeId> file_to_node_;
+  std::vector<RelationLayout> layouts_;  // index = relation
 };
 
 }  // namespace ccsim::db

@@ -98,4 +98,36 @@ std::vector<int> KneeTerminalCounts() {
   return {16, 32, 64, 96, 128, 192, 256, 384, 512};
 }
 
+config::SystemConfig MegascaleConfig(int num_proc_nodes,
+                                     config::CcAlgorithm alg,
+                                     double think_time) {
+  config::SystemConfig cfg = config::PaperBaseConfig();
+  cfg.machine.num_proc_nodes = num_proc_nodes;
+  // Scaleup: relations (and with them files, pages, and terminals) grow with
+  // the machine; each individual transaction still touches 8 partitions on 8
+  // nodes like the paper's fully declustered 8-node runs.
+  cfg.database.num_relations = num_proc_nodes / 2;
+  cfg.database.partitions_per_relation = 8;
+  cfg.database.pages_per_file = 1200;  // the paper's large files
+  cfg.placement.degree = 8;
+  cfg.workload.num_terminals = cfg.database.num_relations * 16;
+  cfg.costs.inst_per_startup = 2000;
+  cfg.costs.inst_per_msg = 1000;
+  cfg.algorithm = alg;
+  cfg.workload.think_time_sec = think_time;
+  if (EnvSet("CCSIM_QUICK")) {
+    cfg.run.warmup_sec = 30;
+    cfg.run.measure_sec = 120;
+  } else if (EnvSet("CCSIM_FULL")) {
+    cfg.run.warmup_sec = 300;
+    cfg.run.measure_sec = 1500;
+  } else {
+    cfg.run.warmup_sec = 100;
+    cfg.run.measure_sec = 500;
+  }
+  return cfg;
+}
+
+std::vector<int> MegascaleNodeCounts() { return {256, 1024}; }
+
 }  // namespace ccsim::experiments

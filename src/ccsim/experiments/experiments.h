@@ -58,6 +58,26 @@ config::SystemConfig KneeConfig(config::CcAlgorithm alg, int num_terminals);
 /// The terminal-count grid for the knee sweep (all multiples of 8).
 std::vector<int> KneeTerminalCounts();
 
+/// Megascale extension (ROADMAP item 5, bench/ext_megascale): machines an
+/// order of magnitude past the paper's ceiling — `num_proc_nodes` in
+/// {256, 1024} — with millions of pages. Scaleup shape: per-transaction
+/// parallelism stays at the paper's 8 cohorts (degree 8, 8 partitions per
+/// relation, large 1200-page files) while the machine grows by adding
+/// relations (NumProcNodes/2) and terminals (16 per relation, 8 per node),
+/// so per-node load matches the paper's 8-node machine and memory-per-node
+/// is the quantity under test. Costs are Experiment 1's (2K startup, 1K
+/// message instructions).
+///
+/// Run windows are shorter than the paper experiments' (these runs cost
+/// ~linearly in machine size): warmup 100 s / measure 500 s by default,
+/// 30/120 under CCSIM_QUICK, 300/1500 under CCSIM_FULL.
+config::SystemConfig MegascaleConfig(int num_proc_nodes,
+                                     config::CcAlgorithm alg,
+                                     double think_time);
+
+/// The machine-size grid for the megascale figure.
+std::vector<int> MegascaleNodeCounts();
+
 }  // namespace ccsim::experiments
 
 #endif  // CCSIM_EXPERIMENTS_EXPERIMENTS_H_

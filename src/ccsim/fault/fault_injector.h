@@ -66,6 +66,9 @@ class FaultInjector {
   /// so a divergent fault replay can be localized to a stream.
   void DumpState(std::FILE* out) const;
 
+  /// Crash-cycle process frames live in the simulation's arena (process.h).
+  sim::Arena* process_arena() { return sim_->arena(); }
+
  private:
   sim::Process CrashCycle(NodeId node);
 

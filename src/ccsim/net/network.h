@@ -83,9 +83,13 @@ class Network {
   }
   /// Transmission attempts eaten by the drop hook (retries included).
   std::uint64_t messages_dropped() const { return dropped_; }
+
   /// Messages abandoned for good: retries exhausted or receiver down.
   std::uint64_t messages_lost() const { return lost_; }
   void ResetStats();
+
+  /// Delivery process frames live in the simulation's arena (process.h).
+  sim::Arena* process_arena() { return sim_->arena(); }
 
  private:
   sim::Process DeliverProcess(

@@ -328,6 +328,7 @@ Calendar::EventId Calendar::ScheduleSlot(SimTime time, std::uint32_t slot) {
   return MakeId(s.gen, slot);
 }
 
+// ccsim-analyze: hot-path(every timed action in the simulation funnels here)
 Calendar::EventId Calendar::Schedule(SimTime time, EventFn fn) {
   CCSIM_CHECK_MSG(time == time, "event scheduled at NaN time");
   CCSIM_CHECK_MSG(time < kNever, "event scheduled at infinite time");
@@ -338,6 +339,7 @@ Calendar::EventId Calendar::Schedule(SimTime time, EventFn fn) {
   return ScheduleSlot(time, slot);
 }
 
+// ccsim-analyze: hot-path(every coroutine wakeup funnels here)
 Calendar::EventId Calendar::ScheduleResume(SimTime time,
                                            std::coroutine_handle<> h) {
   CCSIM_CHECK_MSG(time == time, "wakeup scheduled at NaN time");
@@ -350,6 +352,7 @@ Calendar::EventId Calendar::ScheduleResume(SimTime time,
   return ScheduleSlot(time, slot);
 }
 
+// ccsim-analyze: hot-path(fired per timeout rearm; lazy cancel keeps it O(1))
 bool Calendar::Cancel(EventId id) {
   std::uint32_t slot = static_cast<std::uint32_t>(id);
   std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
@@ -380,6 +383,7 @@ bool Calendar::Cancel(EventId id) {
   return true;
 }
 
+// ccsim-analyze: hot-path(the event-loop dequeue; runs once per event)
 std::optional<Calendar::Fired> Calendar::PopNext() {
   Entry e;
   if (solo_valid_) {

@@ -1,10 +1,22 @@
 #ifndef CCSIM_SIM_PROCESS_H_
 #define CCSIM_SIM_PROCESS_H_
 
+#include <concepts>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <type_traits>
+
+#include "ccsim/sim/arena.h"
 
 namespace ccsim::sim {
+
+/// Owner types (Source, CohortService, CoordinatorService, Network, ...)
+/// that expose the per-simulation Arena their process frames should live in.
+template <typename T>
+concept ProcessArenaOwner = requires(T& t) {
+  { t.process_arena() } -> std::convertible_to<Arena*>;
+};
 
 /// A detached simulation process, in the DeNet/CSIM sense: a coroutine that
 /// interleaves model logic with awaits on simulated time and resources.
@@ -26,6 +38,14 @@ namespace ccsim::sim {
 /// (RunUntil) do not leak coroutine frames. Because of that late destruction,
 /// process locals must be plain data — their destructors must not call back
 /// into simulation facilities.
+/// Frame allocation: member coroutines of a ProcessArenaOwner draw their
+/// frames from the owner's per-simulation Arena instead of global malloc.
+/// The standard passes the coroutine's arguments — for a member coroutine,
+/// the object itself first — to the promise's operator new, which is how
+/// the owner's arena reaches the allocator; a routing header stores where
+/// the frame came from so operator delete (which sees only the pointer)
+/// frees it to the right place. Frames of non-owner coroutines (tests,
+/// lambdas) take the variadic fallback and plain global new.
 struct Process {
   struct promise_type {
     Process get_return_object() noexcept { return {}; }
@@ -33,6 +53,17 @@ struct Process {
     std::suspend_never final_suspend() noexcept { return {}; }
     void return_void() noexcept {}
     void unhandled_exception() noexcept { std::terminate(); }
+
+    template <typename Owner, typename... Args>
+      requires ProcessArenaOwner<std::remove_cvref_t<Owner>>
+    static void* operator new(std::size_t size, Owner&& owner, Args&&...) {
+      return AllocateWithHeader(owner.process_arena(), size);
+    }
+    template <typename... Args>
+    static void* operator new(std::size_t size, Args&&...) {
+      return AllocateWithHeader(nullptr, size);
+    }
+    static void operator delete(void* p) noexcept { DeallocateWithHeader(p); }
   };
 };
 

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "ccsim/sim/arena.h"
 #include "ccsim/sim/calendar.h"
 #include "ccsim/sim/check.h"
 #include "ccsim/sim/event_fn.h"
@@ -128,10 +129,21 @@ class Simulation {
   Simulation() = default;
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
+  // Destruction order: suspended frames are destroyed first (their locals
+  // may hold arena-backed TxnPtrs/Completions), then members in reverse
+  // declaration order — the calendar (whose pending closures can hold
+  // arena-backed state too) before the arena, which is declared first so it
+  // dies last.
   ~Simulation() { DestroySuspendedProcesses(); }
 
   /// Current simulated time in seconds.
   SimTime Now() const { return now_; }
+
+  /// The per-simulation allocation arena: coroutine frames, Completion
+  /// control blocks, and Transaction state live here (see arena.h).
+  /// Everything allocated from it must be released before this Simulation
+  /// is destroyed; the facilities' member order guarantees that.
+  Arena* arena() { return &arena_; }
 
   /// Schedules `handler` at absolute simulated time `time`. Scheduling into
   /// the past (time < Now()) is a fatal error, as is a NaN time.
@@ -285,6 +297,10 @@ class Simulation {
 
   [[noreturn]] void WatchdogFail(const char* what);
 
+  // First member on purpose: destroyed after every other member, because
+  // the calendar's pending closures and the registry's frames free into it
+  // during their own destruction.
+  Arena arena_;
   Calendar calendar_;
   SimTime now_ = 0.0;
   bool stop_requested_ = false;

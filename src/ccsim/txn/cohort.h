@@ -42,6 +42,9 @@ class CohortService {
   std::uint64_t cohorts_started() const { return cohorts_started_; }
   std::uint64_t async_writes_issued() const { return async_writes_; }
 
+  /// Cohort process frames live in the simulation's arena (process.h).
+  sim::Arena* process_arena() { return s_.sim->arena(); }
+
  private:
   sim::Process RunCohort(TxnPtr txn, int attempt, int cohort_index);
   sim::Process PrepareProcess(TxnPtr txn, int attempt, int cohort_index);

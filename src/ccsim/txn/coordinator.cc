@@ -19,8 +19,12 @@ CoordinatorService::CoordinatorService(Services services,
 std::shared_ptr<sim::Completion<sim::Unit>> CoordinatorService::Submit(
     workload::TransactionSpec spec) {
   auto done = sim::MakeCompletion<sim::Unit>(s_.sim);
-  auto txn = std::make_shared<Transaction>(next_id_++, std::move(spec),
-                                           s_.sim->Now(), done);
+  // Transaction state (object + control block) lives in the simulation's
+  // arena: transactions are a fixed closed population (<= NumTerminals
+  // live), created and destroyed once per terminal cycle.
+  auto txn = std::allocate_shared<Transaction>(
+      sim::ArenaAllocator<Transaction>(s_.sim->arena()), next_id_++,
+      std::move(spec), s_.sim->Now(), done);
   live_.emplace(txn->id(), txn);
   StartAttempt(txn, /*first_attempt=*/true);
   return done;

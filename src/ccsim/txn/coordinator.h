@@ -62,6 +62,9 @@ class CoordinatorService {
   /// after exhausting decision resends (fault runs only).
   std::uint64_t forced_terminations() const { return forced_terminations_; }
 
+  /// Coordinator process frames live in the simulation's arena (process.h).
+  sim::Arena* process_arena() { return s_.sim->arena(); }
+
  private:
   void StartAttempt(const TxnPtr& txn, bool first_attempt);
   sim::Process StartAttemptProcess(TxnPtr txn, bool first_attempt);

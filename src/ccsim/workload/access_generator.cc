@@ -1,8 +1,8 @@
 #include "ccsim/workload/access_generator.h"
 
 #include <algorithm>
-#include <unordered_set>
 
+#include "ccsim/common/small_vec.h"
 #include "ccsim/sim/check.h"
 
 namespace ccsim::workload {
@@ -59,22 +59,29 @@ TransactionSpec AccessGenerator::Generate(int terminal,
 
   // One cohort per node holding a partition of the relation, in node order;
   // within a cohort, partitions in partition order, pages in sampled order.
-  std::vector<NodeId> nodes = catalog_->NodesOfRelation(spec.relation);
+  // The catalog's precomputed per-node file lists visit the exact (node,
+  // file) sequence the per-call filtering used to, so the RNG draw order -
+  // and with it every determinism golden - is unchanged.
+  const std::vector<NodeId>& nodes = catalog_->NodesOfRelation(spec.relation);
   spec.cohorts.reserve(nodes.size());
-  for (NodeId node : nodes) {
+  for (std::size_t node_index = 0; node_index < nodes.size(); ++node_index) {
     CohortSpec cohort;
-    cohort.node = node;
-    for (FileId f : catalog_->FilesOfRelation(spec.relation)) {
-      if (catalog_->NodeOfFile(f) != node) continue;
+    cohort.node = nodes[node_index];
+    for (FileId f :
+         catalog_->FilesOfRelationAt(spec.relation, node_index)) {
       int count = DrawPageCount(cls, rng);
       // Distinct pages via rejection; counts are small relative to file size
-      // (validated in SystemConfig::Validate).
-      std::unordered_set<int> chosen;
-      chosen.reserve(static_cast<std::size_t>(count));
+      // (validated in SystemConfig::Validate), so a linear membership scan
+      // over an inline vector beats a heap-allocated hash set. Accept and
+      // reject the same draws the set did.
+      common::SmallVec<int, 16> chosen;
       while (static_cast<int>(chosen.size()) < count) {
         int page = static_cast<int>(
             rng.UniformInt(0, catalog_->pages_per_file() - 1));
-        if (!chosen.insert(page).second) continue;
+        if (std::find(chosen.begin(), chosen.end(), page) != chosen.end()) {
+          continue;
+        }
+        chosen.push_back(page);
         PageAccess access;
         access.page = PageRef{f, page};
         access.is_write = rng.Bernoulli(cls.write_prob);

@@ -53,6 +53,9 @@ class Source {
 
   const AccessGenerator& generator() const { return generator_; }
 
+  /// Terminal process frames live in the simulation's arena (process.h).
+  sim::Arena* process_arena() { return sim_->arena(); }
+
  private:
   sim::Process TerminalProcess(int terminal);
 

@@ -17,6 +17,8 @@ Rule passes (each documented in its module):
     rng-stream          rules_rng          stream ids from the registry
     determinism-taint   rules_taint        unordered iteration into
                                            order-sensitive sinks
+    hot-path-alloc      rules_alloc        heap allocation inside annotated
+                                           kernel hot paths
     stream-map-doc      streammap          generated doc table freshness
 
 Suppression, most-preferred first:
@@ -36,6 +38,7 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import rules_alloc
 import rules_cache
 import rules_coro
 import rules_fingerprint
@@ -67,6 +70,7 @@ def analyze(root: str) -> list[Finding]:
     findings += rules_rng.run(
         files, os.path.join(src, "ccsim", "sim", "stream_ids.h"), root)
     findings += rules_taint.run(files, root)
+    findings += rules_alloc.run(files, root)
     findings += streammap.run(
         os.path.join(src, "ccsim", "sim", "stream_ids.h"),
         os.path.join(root, "EXPERIMENTS.md"), root)

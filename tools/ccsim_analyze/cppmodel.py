@@ -304,8 +304,12 @@ def function_body(sf: SourceFile, signature_re: str) -> tuple[str, int] | None:
 # --------------------------------------------------------------------------
 # Shared helpers for container/variable discovery (used by the taint pass).
 
+# std::unordered_* plus the in-tree open-addressing FlatHashMap
+# (common/flat_hash.h): its ForEach order is hash-table order, the same
+# determinism hazard as std::unordered_map iteration.
 UNORDERED_DECL_RE = re.compile(
-    r"(?:std\s*::\s*)?unordered_(?:multi)?(?:map|set)\s*<")
+    r"(?:std\s*::\s*)?unordered_(?:multi)?(?:map|set)\s*<"
+    r"|(?:common\s*::\s*)?FlatHashMap\s*<")
 
 
 def find_unordered_names(sf_or_text) -> set[str]:

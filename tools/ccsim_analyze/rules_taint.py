@@ -84,6 +84,31 @@ def _check_file(sf: SourceFile, root: str, findings: list[Finding]) -> None:
     # `: table_`, `: node->held_`, `: *locks`).
     ranged_re = re.compile(
         rf":\s*[&*]?\s*(?:[A-Za-z_]\w*\s*(?:\.|->)\s*)*(?:{name_alt})\s*$")
+    # FlatHashMap has no iterators; ForEach visits in hash order, so the
+    # callback body is the taint region exactly as a range-for body is.
+    foreach_re = re.compile(
+        rf"\b(?:{name_alt})\s*\.\s*ForEach(?:Mutable)?\s*\(")
+
+    for m in foreach_re.finditer(text):
+        call_open = m.end() - 1
+        call_close = match_delim(text, call_open)
+        if call_close < 0:
+            continue
+        body = text[call_open + 1:call_close]
+        line = sf.line_of(m.start())
+        for sink_name, sink_re, why in SINKS:
+            sm = sink_re.search(body)
+            if not sm:
+                continue
+            sink_line = sf.line_of(call_open + 1 + sm.start())
+            add_finding(
+                findings, sf, line, "determinism-taint", "taint-ok",
+                f"ForEach over a flat hash table {why} "
+                f"(sink `{sm.group(0).strip()}` at line {sink_line}). "
+                "Collect and sort the keys first, hoist the sink out of the "
+                "callback, or waive with ccsim-analyze: taint-ok(reason) "
+                "explaining why the order is unobservable")
+            break
 
     for m in RANGE_FOR_RE.finditer(text):
         extent = _loop_extent(text, m.end() - 1)

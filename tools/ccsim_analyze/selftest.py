@@ -14,6 +14,7 @@ import shutil
 import tempfile
 from collections import Counter
 
+import rules_alloc
 import rules_cache
 import rules_coro
 import rules_fingerprint
@@ -110,9 +111,18 @@ def run(root: str) -> int:
     s.expect("taint/bad",
              rules_taint.run([SourceFile(os.path.join(fx, "taint_bad.cc"),
                                          root)], root),
-             {"determinism-taint": 3})
+             {"determinism-taint": 4})
     s.expect("taint/clean",
              rules_taint.run([SourceFile(os.path.join(fx, "taint_clean.cc"),
+                                         root)], root), {})
+
+    # --- hot-path allocation ----------------------------------------------
+    s.expect("alloc/bad",
+             rules_alloc.run([SourceFile(os.path.join(fx, "alloc_bad.cc"),
+                                         root)], root),
+             {"hot-path-alloc": 5, "empty-annotation": 1})
+    s.expect("alloc/clean",
+             rules_alloc.run([SourceFile(os.path.join(fx, "alloc_clean.cc"),
                                          root)], root), {})
 
     # --- stream-map doc ---------------------------------------------------

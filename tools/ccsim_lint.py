@@ -76,7 +76,11 @@ BARE_ASSERT_RE = re.compile(r"(?<![\w])assert\s*\(")
 NO_ABORT_RE = re.compile(
     r"(?<![\w])(?:std\s*::\s*)?(?:abort|exit|_exit|quick_exit)\s*\(")
 
-UNORDERED_DECL_RE = re.compile(r"(?:std\s*::\s*)?unordered_(?:multi)?(?:map|set)\s*<")
+# std::unordered_* plus the in-tree FlatHashMap (common/flat_hash.h), whose
+# ForEach visits entries in hash-table order — the same determinism hazard.
+UNORDERED_DECL_RE = re.compile(
+    r"(?:std\s*::\s*)?unordered_(?:multi)?(?:map|set)\s*<"
+    r"|(?:common\s*::\s*)?FlatHashMap\s*<")
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*([<"])([^>"]+)[>"]')
 
@@ -287,8 +291,11 @@ def lint_file(path: str, root: str) -> list[Finding]:
             r"for\s*\(.*:\s*\*?\s*(?:\w+(?:\.|->))?(" + alt + r")\s*\)")
         begin_loop = re.compile(
             r"for\s*\(.*(" + alt + r")\s*\.\s*(?:begin|cbegin)\s*\(")
+        foreach_call = re.compile(
+            r"\b(" + alt + r")\s*\.\s*ForEach(?:Mutable)?\s*\(")
         for i, cline in enumerate(code, start=1):
-            m = range_for.search(cline) or begin_loop.search(cline)
+            m = (range_for.search(cline) or begin_loop.search(cline)
+                 or foreach_call.search(cline))
             if not m:
                 # Range-for whose range expression spans to the next line(s)
                 # is rare in this codebase; single-line match is enough.

@@ -6,7 +6,9 @@ Two subcommands:
   collect   Run bench/micro_simulator with --benchmark_format=json plus one
             cold-cache engine smoke sweep (a figure binary under CCSIM_QUICK=1
             with a throwaway CCSIM_CACHE_DIR, so the result cache cannot hide
-            engine slowdowns), and write the combined items/sec snapshot.
+            engine slowdowns) and a cold-cache 256-node megascale smoke whose
+            peak RSS (getrusage of the child) gates the kernel's memory
+            footprint, and write the combined items/sec snapshot.
 
   compare   Compare a fresh snapshot against the committed baseline and fail
             (exit 1) if any benchmark's items/sec dropped by more than
@@ -34,6 +36,11 @@ DEFAULT_BASELINE = "bench_results/BENCH_kernel.json"
 # One real engine sweep, run cold: fig02 is the paper's headline throughput
 # figure and touches the whole stack (calendar, CPU/disk, locking, network).
 SMOKE_FIGURE = "fig02_throughput"
+# The memory gate: one cold 256-node megascale point (CCSIM_MEGASCALE_SMOKE
+# restricts ext_megascale to 256 nodes / one algorithm). Peak RSS is stored
+# as its reciprocal so the compare gate's drops-are-bad logic fires when the
+# footprint grows.
+MEGASCALE_FIGURE = "ext_megascale"
 
 _TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 
@@ -125,10 +132,71 @@ def run_cold_smoke_sweep(build_dir):
     }
 
 
+def sum_cache_events(cache_dir):
+    """Total simulation events recorded across the sweep's cache entries."""
+    total = 0
+    seen = 0
+    for name in sorted(os.listdir(cache_dir)):
+        if not name.endswith(".result"):
+            continue
+        with open(os.path.join(cache_dir, name)) as f:
+            for line in f:
+                if line.startswith("events "):
+                    total += int(line.split(" ", 1)[1])
+                    seen += 1
+                    break
+    if seen == 0:
+        sys.exit("error: megascale smoke produced no events fields")
+    return total
+
+
+def run_megascale_smoke(build_dir):
+    """Runs the 256-node megascale point cold and gates its memory footprint.
+
+    Peak RSS comes from the child's getrusage (os.wait4), so it covers the
+    whole process - arenas, lock tables, coroutine frames - not a sampled
+    instant. Rate = simulation events/sec of wall time. Both are inherently
+    machine-dependent except that RSS of a deterministic single-threaded run
+    is stable to within allocator noise, far inside the 30% gate.
+    """
+    binary = os.path.join(build_dir, "bench", MEGASCALE_FIGURE)
+    if not os.path.exists(binary):
+        sys.exit(f"error: {binary} not found (build the Release tree first)")
+    with tempfile.TemporaryDirectory(prefix="ccsim-mega-") as tmp:
+        env = dict(os.environ)
+        env["CCSIM_QUICK"] = "1"
+        env["CCSIM_MEGASCALE_SMOKE"] = "1"
+        env["CCSIM_CACHE_DIR"] = os.path.join(tmp, "cache")  # cold cache
+        env["CCSIM_CSV_DIR"] = os.path.join(tmp, "csv")
+        env["CCSIM_JOBS"] = "1"  # one child: its rusage is the whole run
+        os.makedirs(env["CCSIM_CACHE_DIR"])
+        os.makedirs(env["CCSIM_CSV_DIR"])
+        print(f"[collect] cold-cache megascale smoke: {binary}",
+              file=sys.stderr)
+        start = time.monotonic()
+        with open(os.devnull, "wb") as devnull:
+            proc = subprocess.Popen([binary], env=env, stdout=devnull)
+            _, status, rusage = os.wait4(proc.pid, 0)
+        elapsed = time.monotonic() - start
+        if os.waitstatus_to_exitcode(status) != 0:
+            sys.exit(f"error: {binary} exited with status {status}")
+        events = sum_cache_events(env["CCSIM_CACHE_DIR"])
+    peak_rss_mb = rusage.ru_maxrss / 1024.0  # Linux reports KB
+    if peak_rss_mb <= 0 or elapsed <= 0:
+        sys.exit("error: megascale smoke produced no usable measurements")
+    print(f"[collect] megascale smoke: peak_rss_mb={peak_rss_mb:.1f} "
+          f"events/sec={events / elapsed:.0f}", file=sys.stderr)
+    return {
+        f"MegascaleSmoke/peak_rss_mb_inverse": 1.0 / peak_rss_mb,
+        f"MegascaleSmoke/events_per_sec": events / elapsed,
+    }
+
+
 def cmd_collect(args):
     rates = run_micro_benchmarks(args.build_dir, args.min_time, args.filter)
     if not args.skip_smoke:
         rates.update(run_cold_smoke_sweep(args.build_dir))
+        rates.update(run_megascale_smoke(args.build_dir))
     snapshot = {
         "schema": SCHEMA_VERSION,
         "metric": "items_per_second",

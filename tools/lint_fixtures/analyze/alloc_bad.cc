@@ -1,0 +1,42 @@
+// Violating fixture for the hot-path-alloc pass. Expected findings:
+//   hot-path-alloc   5  (new, make_unique, map insert, map operator[],
+//                        plus the one whose waiver gives no reason)
+//   empty-annotation 1  (an alloc-ok with no reason does not waive)
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Event {
+  int id;
+};
+
+class Kernel {
+ public:
+  // ccsim-analyze: hot-path(fires once per simulation event)
+  void Fire(int id) {
+    Event* e = new Event{id};  // finding: new
+    auto boxed = std::make_unique<Event>(*e);  // finding: make_unique
+    pending_.insert({id, *boxed});  // finding: node-container insert
+    pending_[id] = *boxed;  // finding: node-container operator[]
+    delete e;
+  }
+
+  // ccsim-analyze: hot-path(inner loop of the grant path)
+  void Grant(int id) {
+    // ccsim-analyze: alloc-ok()
+    auto leaked = std::make_unique<Event>(Event{id});  // empty-annotation
+    flat_.push_back(*leaked);  // vector growth is not a sink
+  }
+
+  // Not annotated: allocations here are none of this pass's business.
+  void ColdPath(int id) { cold_ = std::make_unique<Event>(Event{id}); }
+
+ private:
+  std::map<int, Event> pending_;
+  std::vector<Event> flat_;
+  std::unique_ptr<Event> cold_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Clean fixture for the hot-path-alloc pass: hot paths that stay on flat
+// storage, plus a reasoned waiver. Expected findings: none.
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+struct Event {
+  int id;
+};
+
+class Kernel {
+ public:
+  // ccsim-analyze: hot-path(fires once per simulation event)
+  void Fire(int id) {
+    flat_.push_back(Event{id});  // vector growth: amortized, flat, fine
+    if (!scratch_.empty()) scratch_.clear();
+  }
+
+  // ccsim-analyze: hot-path(grant path; the completion hand-off is shared)
+  void Grant(int id) {
+    // ccsim-analyze: alloc-ok(shared hand-off is the ownership contract)
+    done_ = std::make_unique<Event>(Event{id});
+  }
+
+  // Allocation in a plain function: not a hot path, not flagged.
+  void Setup() { index_.insert({0, Event{0}}); }
+
+ private:
+  std::vector<Event> flat_;
+  std::vector<int> scratch_;
+  std::unique_ptr<Event> done_;
+  std::map<int, Event> index_;
+};
+
+}  // namespace fixture

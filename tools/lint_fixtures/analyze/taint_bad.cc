@@ -1,6 +1,9 @@
 // Fixture: determinism-taint pass, violating side.
-// Expected: determinism-taint x3 (schedule, victim-selection, stats sinks).
+// Expected: determinism-taint x4 (schedule, victim-selection, stats sinks,
+// and a sink inside a FlatHashMap::ForEach callback).
 #include <unordered_map>
+
+#include "ccsim/common/flat_hash.h"
 
 void System::Flush() {
   std::unordered_map<int, Txn*> table;
@@ -13,4 +16,8 @@ void System::Flush() {
   for (auto& [id, txn] : table) {
     stats_.Record(id);
   }
+  common::FlatHashMap<std::uint64_t, Txn*> flat;
+  flat.ForEach([&](std::uint64_t id, Txn* txn) {
+    calendar_.After(1.0, MakeEvent(txn));
+  });
 }

@@ -13,4 +13,10 @@ void System::Flush() {
   for (int id : ids) stats_.Record(id);
   // ccsim-analyze: taint-ok(commutative sum into the digest accumulator; iteration order cancels)
   for (auto& [id, txn] : table) total_ = MixCommutative(total_, id);
+  // Pattern 3: ForEach that only collects keys (sorted before any sink).
+  common::FlatHashMap<std::uint64_t, Txn*> flat;
+  std::vector<std::uint64_t> keys;
+  flat.ForEach([&](std::uint64_t id, Txn*) { keys.push_back(id); });
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t id : keys) stats_.Record(id);
 }
